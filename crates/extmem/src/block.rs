@@ -1,0 +1,200 @@
+//! Blocks: the unit of transfer between the client cache and the server.
+//!
+//! In the external-memory model (Aggarwal–Vitter), data moves between the
+//! private cache and external storage in contiguous blocks of `B` words. Each
+//! [`Block`] here holds `B` element slots ([`Cell`]s); a slot may be empty
+//! (dummy). Block-level helpers used by the consolidation and compaction
+//! algorithms — counting occupied slots, packing occupied slots while
+//! preserving order, merging two blocks — all live here so the algorithm
+//! crates can stay at the level the paper describes.
+
+use crate::element::{Cell, Element};
+
+/// A block of `B` element slots.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Block {
+    slots: Vec<Cell>,
+}
+
+impl Block {
+    /// Creates an empty block with `b` slots (all dummies).
+    pub fn empty(b: usize) -> Self {
+        Block {
+            slots: vec![None; b],
+        }
+    }
+
+    /// Creates a block from a slice of cells (its length becomes `B`).
+    pub fn from_cells(cells: &[Cell]) -> Self {
+        Block {
+            slots: cells.to_vec(),
+        }
+    }
+
+    /// The block size `B` (number of slots).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the block has zero slots (never the case for allocated blocks).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Read-only view of the slots.
+    #[inline]
+    pub fn slots(&self) -> &[Cell] {
+        &self.slots
+    }
+
+    /// Mutable view of the slots.
+    #[inline]
+    pub fn slots_mut(&mut self) -> &mut [Cell] {
+        &mut self.slots
+    }
+
+    /// Gets slot `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Cell {
+        self.slots[i]
+    }
+
+    /// Sets slot `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, cell: Cell) {
+        self.slots[i] = cell;
+    }
+
+    /// Number of occupied (non-dummy) slots.
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Whether every slot is occupied.
+    pub fn is_full(&self) -> bool {
+        self.slots.iter().all(|c| c.is_some())
+    }
+
+    /// Whether every slot is a dummy.
+    pub fn is_all_dummy(&self) -> bool {
+        self.slots.iter().all(|c| c.is_none())
+    }
+
+    /// Returns the occupied elements in slot order (relative order preserved).
+    pub fn occupied(&self) -> Vec<Element> {
+        self.slots.iter().filter_map(|c| *c).collect()
+    }
+
+    /// Clears every slot to a dummy.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+    }
+
+    /// Packs the occupied elements to the front of the block, preserving their
+    /// relative order, and fills the rest with dummies.
+    pub fn pack_front(&mut self) {
+        let occ = self.occupied();
+        let b = self.len();
+        self.clear();
+        for (i, e) in occ.into_iter().enumerate() {
+            debug_assert!(i < b);
+            self.slots[i] = Some(e);
+        }
+    }
+
+    /// Builds a full block from the first `B` elements of `items`, returning
+    /// the block and the number of items consumed. Panics if fewer than `B`
+    /// items are provided.
+    pub fn filled_from(items: &[Element], b: usize) -> Self {
+        assert!(items.len() >= b, "need at least B elements to fill a block");
+        Block {
+            slots: items[..b].iter().map(|e| Some(*e)).collect(),
+        }
+    }
+
+    /// Builds a (possibly partially full) block from at most `B` elements,
+    /// padding the remainder with dummies.
+    pub fn padded_from(items: &[Element], b: usize) -> Self {
+        assert!(items.len() <= b, "too many elements for one block");
+        let mut slots: Vec<Cell> = items.iter().map(|e| Some(*e)).collect();
+        slots.resize(b, None);
+        Block { slots }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(k: u64) -> Element {
+        Element::new(k, 0)
+    }
+
+    #[test]
+    fn empty_block_has_zero_occupancy() {
+        let b = Block::empty(8);
+        assert_eq!(b.len(), 8);
+        assert_eq!(b.occupancy(), 0);
+        assert!(b.is_all_dummy());
+        assert!(!b.is_full());
+    }
+
+    #[test]
+    fn occupancy_counts_non_dummy_slots() {
+        let mut b = Block::empty(4);
+        b.set(1, Some(e(10)));
+        b.set(3, Some(e(20)));
+        assert_eq!(b.occupancy(), 2);
+        assert_eq!(b.occupied(), vec![e(10), e(20)]);
+    }
+
+    #[test]
+    fn pack_front_preserves_relative_order() {
+        let mut b = Block::empty(5);
+        b.set(1, Some(e(3)));
+        b.set(2, Some(e(1)));
+        b.set(4, Some(e(2)));
+        b.pack_front();
+        assert_eq!(b.get(0), Some(e(3)));
+        assert_eq!(b.get(1), Some(e(1)));
+        assert_eq!(b.get(2), Some(e(2)));
+        assert_eq!(b.get(3), None);
+        assert_eq!(b.get(4), None);
+    }
+
+    #[test]
+    fn filled_from_takes_exactly_b_elements() {
+        let items: Vec<Element> = (0..10).map(e).collect();
+        let b = Block::filled_from(&items, 4);
+        assert!(b.is_full());
+        assert_eq!(b.occupied(), items[..4].to_vec());
+    }
+
+    #[test]
+    fn padded_from_pads_with_dummies() {
+        let items: Vec<Element> = (0..2).map(e).collect();
+        let b = Block::padded_from(&items, 4);
+        assert_eq!(b.occupancy(), 2);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.get(2), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn padded_from_rejects_overfull_input() {
+        let items: Vec<Element> = (0..5).map(e).collect();
+        let _ = Block::padded_from(&items, 4);
+    }
+
+    #[test]
+    fn clear_resets_all_slots() {
+        let items: Vec<Element> = (0..4).map(e).collect();
+        let mut b = Block::filled_from(&items, 4);
+        b.clear();
+        assert!(b.is_all_dummy());
+    }
+}

@@ -1,0 +1,120 @@
+//! Private-cache budget accounting.
+//!
+//! The model gives Alice a private cache of `M` words that the adversary
+//! cannot observe. The algorithms in this workspace are written so that their
+//! client-side working set never exceeds `M`; [`CacheBudget`] makes that an
+//! explicit, testable claim. Algorithms `acquire` capacity (in element slots)
+//! when they pull blocks into the cache and `release` it when they evict.
+//! Exceeding the budget is a logic error and panics, which is how the test
+//! suite catches algorithms that quietly assume a larger cache than the
+//! configuration allows.
+
+/// Tracks how much of the private cache an algorithm is currently using.
+#[derive(Clone, Debug)]
+pub struct CacheBudget {
+    capacity: usize,
+    in_use: usize,
+    high_water: usize,
+}
+
+impl CacheBudget {
+    /// Creates a budget with capacity `capacity` element slots (typically `M`).
+    pub fn new(capacity: usize) -> Self {
+        CacheBudget {
+            capacity,
+            in_use: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Capacity in element slots.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Slots currently accounted as in use.
+    #[inline]
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// The maximum number of slots that were ever simultaneously in use.
+    #[inline]
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Claims `slots` slots of private cache.
+    ///
+    /// # Panics
+    /// Panics if the claim would exceed the capacity — the algorithm is using
+    /// more private memory than the model configuration allows.
+    pub fn acquire(&mut self, slots: usize) {
+        self.in_use += slots;
+        assert!(
+            self.in_use <= self.capacity,
+            "private cache budget exceeded: {} in use, capacity {}",
+            self.in_use,
+            self.capacity
+        );
+        self.high_water = self.high_water.max(self.in_use);
+    }
+
+    /// Releases `slots` previously acquired slots.
+    pub fn release(&mut self, slots: usize) {
+        assert!(
+            slots <= self.in_use,
+            "releasing more cache than was acquired"
+        );
+        self.in_use -= slots;
+    }
+
+    /// Runs `f` with `slots` slots temporarily acquired.
+    pub fn with<R>(&mut self, slots: usize, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.acquire(slots);
+        let r = f(self);
+        self.release(slots);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_tracks_usage_and_high_water() {
+        let mut b = CacheBudget::new(10);
+        b.acquire(4);
+        b.acquire(3);
+        assert_eq!(b.in_use(), 7);
+        b.release(5);
+        assert_eq!(b.in_use(), 2);
+        assert_eq!(b.high_water(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "private cache budget exceeded")]
+    fn exceeding_capacity_panics() {
+        let mut b = CacheBudget::new(4);
+        b.acquire(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing more cache")]
+    fn over_release_panics() {
+        let mut b = CacheBudget::new(4);
+        b.acquire(2);
+        b.release(3);
+    }
+
+    #[test]
+    fn scoped_with_releases_on_exit() {
+        let mut b = CacheBudget::new(8);
+        let r = b.with(6, |inner| inner.in_use());
+        assert_eq!(r, 6);
+        assert_eq!(b.in_use(), 0);
+        assert_eq!(b.high_water(), 6);
+    }
+}

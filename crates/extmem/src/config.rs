@@ -1,0 +1,260 @@
+//! Model parameters `(N, B, M)` and the paper's model assumptions.
+//!
+//! The paper states its results under combinations of the following
+//! assumptions (Section 1, "Our Results"):
+//!
+//! * **baseline**: `B ≥ 1` and `M ≥ 2B` (at least two blocks of private
+//!   cache), sometimes `M ≥ 3B`;
+//! * **wide-block**: `B ≥ log(N/B)`;
+//! * **tall-cache** (weak form): `M ≥ B^{1+ε}` for a small constant `ε > 0`.
+//!
+//! [`Config`] bundles the three parameters, provides the derived quantities
+//! used throughout (`n = ⌈N/B⌉` blocks, `m = ⌊M/B⌋` cache blocks,
+//! `log_{M/B}(N/B)`, …) and checks each assumption so that algorithms can
+//! refuse or warn when invoked outside their stated regime.
+
+use std::fmt;
+
+/// Parameters of the external-memory model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Config {
+    /// Total number of element slots in the problem instance (`N`).
+    pub n_elements: usize,
+    /// Block size in elements (`B`).
+    pub block_elems: usize,
+    /// Private cache size in elements (`M`).
+    pub cache_elems: usize,
+}
+
+/// Errors produced by [`Config::validate`] and the per-assumption checks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `B` must be at least 1.
+    BlockTooSmall,
+    /// `N` must be at least 1.
+    EmptyInput,
+    /// The private cache must hold at least `min_blocks` blocks.
+    CacheTooSmall {
+        /// Number of blocks the failing requirement asked for.
+        min_blocks: usize,
+    },
+    /// The wide-block assumption `B ≥ log2(N/B)` does not hold.
+    WideBlockViolated,
+    /// The tall-cache assumption `M ≥ B^{1+ε}` does not hold.
+    TallCacheViolated {
+        /// The ε used in the check.
+        epsilon_hundredths: u32,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BlockTooSmall => write!(f, "block size B must be >= 1"),
+            ConfigError::EmptyInput => write!(f, "input size N must be >= 1"),
+            ConfigError::CacheTooSmall { min_blocks } => {
+                write!(f, "private cache must hold at least {min_blocks} blocks")
+            }
+            ConfigError::WideBlockViolated => {
+                write!(f, "wide-block assumption B >= log2(N/B) violated")
+            }
+            ConfigError::TallCacheViolated { epsilon_hundredths } => write!(
+                f,
+                "tall-cache assumption M >= B^(1+{}) violated",
+                *epsilon_hundredths as f64 / 100.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// Creates a configuration; prefer [`Config::validate`] before use.
+    pub fn new(n_elements: usize, block_elems: usize, cache_elems: usize) -> Self {
+        Config {
+            n_elements,
+            block_elems,
+            cache_elems,
+        }
+    }
+
+    /// Number of blocks `n = ⌈N/B⌉` needed to store the input.
+    #[inline]
+    pub fn n_blocks(&self) -> usize {
+        self.n_elements.div_ceil(self.block_elems)
+    }
+
+    /// Number of blocks `m = ⌊M/B⌋` that fit in the private cache.
+    #[inline]
+    pub fn m_blocks(&self) -> usize {
+        self.cache_elems / self.block_elems
+    }
+
+    /// `log2(x)` rounded up, with `log2ceil(x) = 1` for `x ≤ 2`.
+    pub fn log2_ceil(x: usize) -> u32 {
+        if x <= 2 {
+            1
+        } else {
+            usize::BITS - (x - 1).leading_zeros()
+        }
+    }
+
+    /// `log_{M/B}(N/B)`, the number of passes an optimal external-memory sort
+    /// needs; at least 1.
+    pub fn log_m_n(&self) -> f64 {
+        let n = self.n_blocks().max(2) as f64;
+        let m = self.m_blocks().max(2) as f64;
+        (n.ln() / m.ln()).max(1.0)
+    }
+
+    /// Basic validity: `N ≥ 1`, `B ≥ 1`, and the cache holds at least
+    /// `min_cache_blocks` blocks.
+    pub fn validate_basic(&self, min_cache_blocks: usize) -> Result<(), ConfigError> {
+        if self.block_elems == 0 {
+            return Err(ConfigError::BlockTooSmall);
+        }
+        if self.n_elements == 0 {
+            return Err(ConfigError::EmptyInput);
+        }
+        if self.m_blocks() < min_cache_blocks {
+            return Err(ConfigError::CacheTooSmall {
+                min_blocks: min_cache_blocks,
+            });
+        }
+        Ok(())
+    }
+
+    /// Full validation with the paper's default requirement `M ≥ 2B`.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.validate_basic(2)
+    }
+
+    /// Checks the wide-block assumption `B ≥ log2(N/B)`.
+    pub fn check_wide_block(&self) -> Result<(), ConfigError> {
+        let n = self.n_blocks();
+        if self.block_elems >= Self::log2_ceil(n.max(2)) as usize {
+            Ok(())
+        } else {
+            Err(ConfigError::WideBlockViolated)
+        }
+    }
+
+    /// Checks the weak tall-cache assumption `M ≥ B^{1+ε}`.
+    ///
+    /// `epsilon_hundredths` is ε expressed in hundredths (e.g. `50` for
+    /// ε = 0.5), which keeps the API free of floating-point surprises.
+    pub fn check_tall_cache(&self, epsilon_hundredths: u32) -> Result<(), ConfigError> {
+        let eps = epsilon_hundredths as f64 / 100.0;
+        let needed = (self.block_elems as f64).powf(1.0 + eps);
+        if (self.cache_elems as f64) >= needed {
+            Ok(())
+        } else {
+            Err(ConfigError::TallCacheViolated { epsilon_hundredths })
+        }
+    }
+
+    /// Convenience used by the loose-compaction and sorting algorithms: the
+    /// paper's combined requirement that `m = M/B ≥ log2(N/B)^2` (implied by
+    /// wide-block + tall-cache in its analysis, stated explicitly before
+    /// Theorem 8).
+    pub fn check_region_fits_cache(&self) -> Result<(), ConfigError> {
+        let need = (Self::log2_ceil(self.n_blocks().max(2)) as usize).pow(2);
+        if self.m_blocks() >= need {
+            Ok(())
+        } else {
+            Err(ConfigError::CacheTooSmall { min_blocks: need })
+        }
+    }
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "N={} B={} M={} (n={} blocks, m={} cache blocks)",
+            self.n_elements,
+            self.block_elems,
+            self.cache_elems,
+            self.n_blocks(),
+            self.m_blocks()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_block_counts_round_up() {
+        let c = Config::new(100, 8, 64);
+        assert_eq!(c.n_blocks(), 13);
+        assert_eq!(c.m_blocks(), 8);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_parameters() {
+        assert_eq!(
+            Config::new(10, 0, 10).validate(),
+            Err(ConfigError::BlockTooSmall)
+        );
+        assert_eq!(
+            Config::new(0, 4, 16).validate(),
+            Err(ConfigError::EmptyInput)
+        );
+        assert_eq!(
+            Config::new(100, 8, 8).validate(),
+            Err(ConfigError::CacheTooSmall { min_blocks: 2 })
+        );
+        assert!(Config::new(100, 8, 64).validate().is_ok());
+    }
+
+    #[test]
+    fn wide_block_check_matches_definition() {
+        // n = 1024/4 = 256 blocks, log2 = 8 > B = 4 -> violated.
+        assert!(Config::new(1024, 4, 64).check_wide_block().is_err());
+        // B = 16 >= 8 -> ok.
+        assert!(Config::new(1024 * 4, 16, 256).check_wide_block().is_ok());
+    }
+
+    #[test]
+    fn tall_cache_check_matches_definition() {
+        // B = 64, eps = 0.5 -> need M >= 64^1.5 = 512.
+        assert!(Config::new(1 << 16, 64, 512).check_tall_cache(50).is_ok());
+        assert!(Config::new(1 << 16, 64, 511).check_tall_cache(50).is_err());
+    }
+
+    #[test]
+    fn log2_ceil_small_values() {
+        assert_eq!(Config::log2_ceil(1), 1);
+        assert_eq!(Config::log2_ceil(2), 1);
+        assert_eq!(Config::log2_ceil(3), 2);
+        assert_eq!(Config::log2_ceil(4), 2);
+        assert_eq!(Config::log2_ceil(5), 3);
+        assert_eq!(Config::log2_ceil(1024), 10);
+    }
+
+    #[test]
+    fn log_m_n_is_at_least_one() {
+        let c = Config::new(1 << 10, 16, 1 << 12);
+        assert!(c.log_m_n() >= 1.0);
+    }
+
+    #[test]
+    fn region_fits_cache_requires_m_at_least_log_squared() {
+        // n = 2^14 blocks -> log2 = 14 -> need m >= 196.
+        let ok = Config::new((1 << 14) * 16, 16, 200 * 16);
+        assert!(ok.check_region_fits_cache().is_ok());
+        let bad = Config::new((1 << 14) * 16, 16, 100 * 16);
+        assert!(bad.check_region_fits_cache().is_err());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let c = Config::new(128, 8, 32);
+        let s = format!("{c}");
+        assert!(s.contains("N=128"));
+        assert!(s.contains("B=8"));
+    }
+}

@@ -1,0 +1,58 @@
+//! # odo-extmem — the external-memory model substrate
+//!
+//! This crate implements the machine model of Goodrich's SPAA 2011 paper
+//! *"Data-Oblivious External-Memory Algorithms for the Compaction, Selection,
+//! and Sorting of Outsourced Data"*:
+//!
+//! * a client (**Alice**) owning a small private cache of `M` words,
+//! * a storage server (**Bob**) holding the bulk of the data as an array of
+//!   blocks of `B` words each,
+//! * an honest-but-curious adversary who observes the **sequence of block
+//!   addresses** Alice reads and writes (but not the encrypted contents).
+//!
+//! Everything the algorithm crates need from the model lives here:
+//!
+//! * [`Element`] — the machine-word record (key, payload) the paper's arrays
+//!   hold; cells may be empty (dummy).
+//! * [`Block`] — a block of `B` element slots.
+//! * [`ExtMem`] — the block store: allocation of arrays, block reads/writes,
+//!   per-operation I/O accounting ([`IoStats`]) and access-trace capture
+//!   ([`AccessTrace`]), which is exactly the adversary's view.
+//! * [`Config`] — the `(N, B, M)` parameters plus the paper's *wide-block*
+//!   (`B ≥ log(N/B)`) and *tall-cache* (`M ≥ B^{1+ε}`) assumption checks.
+//! * [`CacheBudget`] — a debug-level accounting helper used by algorithms to
+//!   assert that their private working set never exceeds `M` words.
+//! * [`EncryptedStore`](crypto::EncryptedStore) — a masking layer that models
+//!   semantically secure re-encryption of every block write (each write
+//!   produces a fresh ciphertext even for identical plaintexts).
+//! * [`trace`] — utilities for comparing access traces, the basis of the
+//!   obliviousness test-suite used across the workspace.
+//!
+//! ## Cost model
+//!
+//! Every [`ExtMem::read_block`] / [`ExtMem::write_block`] costs exactly one
+//! I/O, mirroring the paper's cost model (I/Os are counted at block
+//! granularity; CPU time inside the client cache is free). Algorithms that
+//! claim `O(N/B)` I/Os can therefore be validated by reading
+//! [`ExtMem::stats`] after a run, which is what the `odo-bench` experiment
+//! harness does.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod budget;
+pub mod cache;
+pub mod config;
+pub mod crypto;
+pub mod element;
+pub mod mem;
+pub mod trace;
+pub mod util;
+
+pub use block::Block;
+pub use budget::CacheBudget;
+pub use cache::BlockCache;
+pub use config::{Config, ConfigError};
+pub use element::{Cell, Element};
+pub use mem::{AccessEvent, AccessOp, AccessTrace, ArrayHandle, ExtMem, IoStats};

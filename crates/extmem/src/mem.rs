@@ -1,0 +1,376 @@
+//! The external block store: Bob's disk, with I/O accounting and the
+//! adversary's view.
+//!
+//! [`ExtMem`] is an arena of blocks out of which algorithms allocate named
+//! arrays ([`ArrayHandle`]). Each block read or write costs exactly one I/O
+//! and (optionally) appends an [`AccessEvent`] to the [`AccessTrace`], which
+//! is precisely what the honest-but-curious server observes: the *operation*
+//! and the *global block address*, never the contents.
+//!
+//! Data-obliviousness of an algorithm is checked by running it on different
+//! inputs of the same shape (and, for randomized algorithms, the same
+//! random-number-generator seed) and asserting that the captured traces are
+//! identical — see the [`crate::trace`] module.
+
+use crate::block::Block;
+use crate::element::{Cell, Element};
+
+/// The kind of a block access, as visible to the server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessOp {
+    /// A block read.
+    Read,
+    /// A block write.
+    Write,
+}
+
+/// One entry of the adversary's view: an operation on a global block address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AccessEvent {
+    /// Whether the block was read or written.
+    pub op: AccessOp,
+    /// The global block address.
+    pub addr: usize,
+}
+
+/// The full adversary view: the ordered sequence of block accesses.
+pub type AccessTrace = Vec<AccessEvent>;
+
+/// Cumulative I/O counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Number of block reads performed.
+    pub reads: u64,
+    /// Number of block writes performed.
+    pub writes: u64,
+}
+
+impl IoStats {
+    /// Total I/Os (reads + writes).
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl std::ops::Sub for IoStats {
+    type Output = IoStats;
+    fn sub(self, rhs: IoStats) -> IoStats {
+        IoStats {
+            reads: self.reads - rhs.reads,
+            writes: self.writes - rhs.writes,
+        }
+    }
+}
+
+/// A handle to an array allocated inside an [`ExtMem`] arena.
+///
+/// The handle records where the array starts (global block index), how many
+/// element slots it spans and the block size, so algorithms can address its
+/// blocks by a local index `0..handle.n_blocks()`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArrayHandle {
+    start_block: usize,
+    len_elements: usize,
+    block_elems: usize,
+}
+
+impl ArrayHandle {
+    /// Number of element slots the array spans.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len_elements
+    }
+
+    /// Whether the array has zero element slots.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len_elements == 0
+    }
+
+    /// Block size `B` of the arena this handle belongs to.
+    #[inline]
+    pub fn block_elems(&self) -> usize {
+        self.block_elems
+    }
+
+    /// Number of blocks the array spans (`⌈len/B⌉`).
+    #[inline]
+    pub fn n_blocks(&self) -> usize {
+        self.len_elements.div_ceil(self.block_elems).max(1)
+    }
+
+    /// Global block address of local block `i`.
+    #[inline]
+    pub fn global_block(&self, i: usize) -> usize {
+        debug_assert!(i < self.n_blocks(), "block index out of range");
+        self.start_block + i
+    }
+}
+
+/// Bob's block store, with per-operation I/O accounting and trace capture.
+#[derive(Debug)]
+pub struct ExtMem {
+    block_elems: usize,
+    blocks: Vec<Block>,
+    stats: IoStats,
+    trace: Option<AccessTrace>,
+}
+
+impl ExtMem {
+    /// Creates an empty arena with block size `block_elems`.
+    pub fn new(block_elems: usize) -> Self {
+        assert!(block_elems >= 1, "block size must be at least 1");
+        ExtMem {
+            block_elems,
+            blocks: Vec::new(),
+            stats: IoStats::default(),
+            trace: None,
+        }
+    }
+
+    /// Creates an arena and enables trace capture from the start.
+    pub fn with_trace(block_elems: usize) -> Self {
+        let mut m = Self::new(block_elems);
+        m.enable_trace();
+        m
+    }
+
+    /// Block size `B`.
+    #[inline]
+    pub fn block_elems(&self) -> usize {
+        self.block_elems
+    }
+
+    /// Total number of blocks currently allocated in the arena.
+    #[inline]
+    pub fn allocated_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Cumulative I/O statistics.
+    #[inline]
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Resets the I/O counters (does not clear the trace).
+    pub fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+
+    /// Starts recording the access trace (clearing any previous recording).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Stops recording and returns the captured trace, if any.
+    pub fn take_trace(&mut self) -> Option<AccessTrace> {
+        self.trace.take()
+    }
+
+    /// Read-only view of the trace captured so far.
+    pub fn trace(&self) -> Option<&AccessTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Allocates a new array of `len_elements` slots, all initially dummies.
+    pub fn alloc_array(&mut self, len_elements: usize) -> ArrayHandle {
+        let start_block = self.blocks.len();
+        let nb = len_elements.div_ceil(self.block_elems).max(1);
+        self.blocks
+            .extend((0..nb).map(|_| Block::empty(self.block_elems)));
+        ArrayHandle {
+            start_block,
+            len_elements,
+            block_elems: self.block_elems,
+        }
+    }
+
+    /// Allocates an array and fills it from a slice of cells.
+    ///
+    /// The initial population is *not* charged as I/Os (it models the data
+    /// already residing on the server before the algorithm starts), matching
+    /// how the paper counts only the algorithm's own accesses.
+    pub fn alloc_array_from_cells(&mut self, cells: &[Cell]) -> ArrayHandle {
+        let h = self.alloc_array(cells.len().max(1));
+        for (i, chunk) in cells.chunks(self.block_elems).enumerate() {
+            let mut blk = Block::empty(self.block_elems);
+            for (j, c) in chunk.iter().enumerate() {
+                blk.set(j, *c);
+            }
+            self.blocks[h.start_block + i] = blk;
+        }
+        h
+    }
+
+    /// Allocates an array and fills it from a slice of elements (all occupied).
+    pub fn alloc_array_from_elements(&mut self, items: &[Element]) -> ArrayHandle {
+        let cells: Vec<Cell> = items.iter().map(|e| Some(*e)).collect();
+        self.alloc_array_from_cells(&cells)
+    }
+
+    fn record(&mut self, op: AccessOp, addr: usize) {
+        match op {
+            AccessOp::Read => self.stats.reads += 1,
+            AccessOp::Write => self.stats.writes += 1,
+        }
+        if let Some(t) = &mut self.trace {
+            t.push(AccessEvent { op, addr });
+        }
+    }
+
+    /// Reads local block `i` of array `h` (costs one I/O).
+    pub fn read_block(&mut self, h: &ArrayHandle, i: usize) -> Block {
+        let addr = h.global_block(i);
+        self.record(AccessOp::Read, addr);
+        self.blocks[addr].clone()
+    }
+
+    /// Writes local block `i` of array `h` (costs one I/O).
+    pub fn write_block(&mut self, h: &ArrayHandle, i: usize, blk: Block) {
+        assert_eq!(blk.len(), self.block_elems, "block size mismatch");
+        let addr = h.global_block(i);
+        self.record(AccessOp::Write, addr);
+        self.blocks[addr] = blk;
+    }
+
+    /// Reads the cell at element index `idx` of array `h` by reading its
+    /// containing block (costs one I/O).
+    pub fn read_cell(&mut self, h: &ArrayHandle, idx: usize) -> Cell {
+        assert!(idx < h.len(), "element index out of range");
+        let blk = self.read_block(h, idx / self.block_elems);
+        blk.get(idx % self.block_elems)
+    }
+
+    /// Writes the cell at element index `idx` of array `h` via a
+    /// read-modify-write of its containing block (costs two I/Os).
+    pub fn write_cell(&mut self, h: &ArrayHandle, idx: usize, cell: Cell) {
+        assert!(idx < h.len(), "element index out of range");
+        let bi = idx / self.block_elems;
+        let mut blk = self.read_block(h, bi);
+        blk.set(idx % self.block_elems, cell);
+        self.write_block(h, bi, blk);
+    }
+
+    /// Non-oblivious convenience used by tests and oracles: loads the whole
+    /// array as a flat vector of cells **without** charging I/Os or touching
+    /// the trace. Never use this inside an algorithm under test.
+    pub fn snapshot_cells(&self, h: &ArrayHandle) -> Vec<Cell> {
+        let mut out = Vec::with_capacity(h.len());
+        for i in 0..h.n_blocks() {
+            let blk = &self.blocks[h.global_block(i)];
+            for j in 0..self.block_elems {
+                if out.len() < h.len() {
+                    out.push(blk.get(j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Non-oblivious convenience used by tests and oracles: the occupied
+    /// elements of the array in slot order, free of charge.
+    pub fn snapshot_elements(&self, h: &ArrayHandle) -> Vec<Element> {
+        self.snapshot_cells(h).into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(k: u64) -> Element {
+        Element::new(k, 0)
+    }
+
+    #[test]
+    fn alloc_array_rounds_up_to_blocks() {
+        let mut mem = ExtMem::new(4);
+        let h = mem.alloc_array(10);
+        assert_eq!(h.len(), 10);
+        assert_eq!(h.n_blocks(), 3);
+        assert_eq!(mem.allocated_blocks(), 3);
+    }
+
+    #[test]
+    fn initial_population_is_free_but_accesses_are_charged() {
+        let mut mem = ExtMem::new(4);
+        let items: Vec<Element> = (0..10).map(e).collect();
+        let h = mem.alloc_array_from_elements(&items);
+        assert_eq!(mem.stats().total(), 0);
+        let b0 = mem.read_block(&h, 0);
+        assert_eq!(b0.occupied(), items[..4].to_vec());
+        assert_eq!(mem.stats().reads, 1);
+        mem.write_block(&h, 0, Block::empty(4));
+        assert_eq!(mem.stats().writes, 1);
+    }
+
+    #[test]
+    fn cell_level_access_charges_block_ios() {
+        let mut mem = ExtMem::new(4);
+        let items: Vec<Element> = (0..8).map(e).collect();
+        let h = mem.alloc_array_from_elements(&items);
+        assert_eq!(mem.read_cell(&h, 5), Some(e(5)));
+        assert_eq!(mem.stats().reads, 1);
+        mem.write_cell(&h, 5, Some(e(99)));
+        assert_eq!(mem.stats(), IoStats { reads: 2, writes: 1 });
+        assert_eq!(mem.read_cell(&h, 5), Some(e(99)));
+    }
+
+    #[test]
+    fn trace_records_global_addresses_in_order() {
+        let mut mem = ExtMem::with_trace(2);
+        let a = mem.alloc_array(4); // blocks 0..2
+        let b = mem.alloc_array(4); // blocks 2..4
+        let _ = mem.read_block(&a, 1);
+        mem.write_block(&b, 0, Block::empty(2));
+        let t = mem.take_trace().unwrap();
+        assert_eq!(
+            t,
+            vec![
+                AccessEvent {
+                    op: AccessOp::Read,
+                    addr: 1
+                },
+                AccessEvent {
+                    op: AccessOp::Write,
+                    addr: 2
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn snapshot_matches_contents_and_is_free() {
+        let mut mem = ExtMem::new(4);
+        let items: Vec<Element> = (0..6).map(e).collect();
+        let h = mem.alloc_array_from_elements(&items);
+        assert_eq!(mem.snapshot_elements(&h), items);
+        assert_eq!(mem.stats().total(), 0);
+    }
+
+    #[test]
+    fn stats_subtraction_gives_deltas() {
+        let a = IoStats { reads: 10, writes: 4 };
+        let b = IoStats { reads: 3, writes: 1 };
+        assert_eq!(a - b, IoStats { reads: 7, writes: 3 });
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_block_index_panics() {
+        let mut mem = ExtMem::new(4);
+        let h = mem.alloc_array(4);
+        let _ = mem.read_block(&h, 1);
+    }
+
+    #[test]
+    fn multiple_arrays_do_not_overlap() {
+        let mut mem = ExtMem::new(4);
+        let a = mem.alloc_array_from_elements(&(0..8).map(e).collect::<Vec<_>>());
+        let b = mem.alloc_array_from_elements(&(100..108).map(e).collect::<Vec<_>>());
+        mem.write_cell(&a, 0, Some(e(55)));
+        assert_eq!(mem.snapshot_elements(&b)[0], e(100));
+    }
+}

@@ -1,0 +1,191 @@
+//! Batcher's odd-even mergesort.
+//!
+//! The classic `O(n log² n)`-comparator deterministic sorting network, usable
+//! on slices of **any** length. The paper's Lemma 2 black box (a
+//! deterministic data-oblivious sort) is realised in-cache with exactly this
+//! network, and the test-suite uses the explicit [`Network`] form to verify
+//! it with the zero-one principle.
+//!
+//! Arbitrary lengths are handled by generating the network for the next power
+//! of two and dropping every comparator that touches a wire `≥ n`. This is
+//! sound because dropped comparators would only ever see a virtual `+∞`
+//! sentinel on their high wire: ascending comparators never move such a
+//! sentinel to a lower index, so the sentinels stay parked on the dropped
+//! wires for the whole run and the real wires behave exactly as in the padded
+//! network.
+
+use crate::compare::compare_exchange_by;
+use crate::network::{Comparator, Network};
+use std::cmp::Ordering;
+
+/// Sorts `v` in place with Batcher's odd-even mergesort (ascending).
+pub fn odd_even_merge_sort<T: Ord>(v: &mut [T]) {
+    odd_even_merge_sort_by(v, &|a: &T, b: &T| a.cmp(b));
+}
+
+/// Sorts `v` in place with Batcher's odd-even mergesort using a custom
+/// comparison.
+pub fn odd_even_merge_sort_by<T, F>(v: &mut [T], cmp: &F)
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    let n = v.len();
+    if n < 2 {
+        return;
+    }
+    let p = n.next_power_of_two();
+    for_each_comparator(p, &mut |i, j| {
+        if j < n {
+            compare_exchange_by(v, i, j, cmp);
+        }
+    });
+}
+
+/// Builds the explicit comparator network for `n` wires (each comparator in
+/// its own stage, in application order).
+pub fn odd_even_merge_network(n: usize) -> Network {
+    let mut net = Network::new(n.max(1));
+    if n < 2 {
+        return net;
+    }
+    let p = n.next_power_of_two();
+    for_each_comparator(p, &mut |i, j| {
+        if j < n {
+            net.push_comparator(Comparator::new(i, j));
+        }
+    });
+    net
+}
+
+/// Number of comparators the network uses for `n` wires (after dropping the
+/// out-of-range ones).
+pub fn comparator_count(n: usize) -> usize {
+    let mut c = 0usize;
+    if n >= 2 {
+        let p = n.next_power_of_two();
+        for_each_comparator(p, &mut |_i, j| {
+            if j < n {
+                c += 1;
+            }
+        });
+    }
+    c
+}
+
+/// Enumerates the comparators of the power-of-two odd-even mergesort over
+/// `p` wires, in application order.
+fn for_each_comparator(p: usize, visit: &mut impl FnMut(usize, usize)) {
+    debug_assert!(p.is_power_of_two());
+    sort_rec(0, p, visit);
+}
+
+fn sort_rec(lo: usize, n: usize, visit: &mut impl FnMut(usize, usize)) {
+    if n > 1 {
+        let m = n / 2;
+        sort_rec(lo, m, visit);
+        sort_rec(lo + m, m, visit);
+        merge_rec(lo, n, 1, visit);
+    }
+}
+
+/// Odd-even merge of the (already sorted) halves of `v[lo..lo+n]`, where `r`
+/// is the distance between elements of the subsequence being merged.
+fn merge_rec(lo: usize, n: usize, r: usize, visit: &mut impl FnMut(usize, usize)) {
+    let m = r * 2;
+    if m < n {
+        merge_rec(lo, n, m, visit); // even subsequence
+        merge_rec(lo + r, n, m, visit); // odd subsequence
+        let mut i = lo + r;
+        while i + r < lo + n {
+            visit(i, i + r);
+            i += m;
+        }
+    } else {
+        visit(lo, lo + r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_power_of_two_lengths() {
+        let mut v = vec![5, 3, 8, 1, 9, 2, 7, 4];
+        odd_even_merge_sort(&mut v);
+        assert_eq!(v, vec![1, 2, 3, 4, 5, 7, 8, 9]);
+    }
+
+    #[test]
+    fn sorts_non_power_of_two_lengths() {
+        for n in [0usize, 1, 2, 3, 5, 6, 7, 9, 13, 31, 33, 100] {
+            let mut v: Vec<u32> = (0..n as u32).rev().collect();
+            odd_even_merge_sort(&mut v);
+            let expected: Vec<u32> = (0..n as u32).collect();
+            assert_eq!(v, expected, "failed for n={n}");
+        }
+    }
+
+    #[test]
+    fn handles_duplicates() {
+        let mut v = vec![2, 2, 1, 1, 3, 3, 2, 1, 3];
+        odd_even_merge_sort(&mut v);
+        assert_eq!(v, vec![1, 1, 1, 2, 2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn custom_comparison_sorts_descending() {
+        let mut v = vec![1, 4, 2, 3];
+        odd_even_merge_sort_by(&mut v, &|a: &i32, b: &i32| b.cmp(a));
+        assert_eq!(v, vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn network_passes_zero_one_principle_for_small_widths() {
+        for n in 1..=10 {
+            let net = odd_even_merge_network(n);
+            assert!(
+                net.sorts_all_zero_one_inputs(),
+                "odd-even network of width {n} is not a sorter"
+            );
+        }
+    }
+
+    #[test]
+    fn network_and_in_place_sort_agree() {
+        let n = 11;
+        let net = odd_even_merge_network(n);
+        let mut a: Vec<u32> = (0..n as u32).map(|i| (i * 7919) % 97).collect();
+        let mut b = a.clone();
+        net.apply(&mut a);
+        odd_even_merge_sort(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn comparator_count_grows_like_n_log_squared_n() {
+        // Exact well-known counts for powers of two: C(2)=1, C(4)=5, C(8)=19.
+        assert_eq!(comparator_count(2), 1);
+        assert_eq!(comparator_count(4), 5);
+        assert_eq!(comparator_count(8), 19);
+        // Dropping out-of-range comparators only reduces the count.
+        assert!(comparator_count(7) <= comparator_count(8));
+    }
+
+    #[test]
+    fn access_pattern_is_input_independent() {
+        // Record the comparator sequence for two different inputs of the same
+        // length: it must be identical (the network is data-oblivious).
+        fn record(n: usize) -> Vec<(usize, usize)> {
+            let mut seq = Vec::new();
+            let p = n.next_power_of_two();
+            super::for_each_comparator(p, &mut |i, j| {
+                if j < n {
+                    seq.push((i, j));
+                }
+            });
+            seq
+        }
+        assert_eq!(record(13), record(13));
+    }
+}

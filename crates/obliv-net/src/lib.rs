@@ -1,0 +1,44 @@
+//! # odo-obliv-net — data-oblivious sorting and routing networks
+//!
+//! Deterministic data-oblivious building blocks used throughout the
+//! workspace:
+//!
+//! * [`compare`] — compare-exchange primitives, the only data-dependent
+//!   operation a sorting network performs (and it performs it with a fixed
+//!   access pattern).
+//! * [`network`] — explicit comparator-network representation plus
+//!   zero-one-principle exhaustive checking used by the test-suite.
+//! * [`batcher`] — Batcher's odd-even mergesort for in-memory slices of any
+//!   length, the workhorse in-cache oblivious sort.
+//! * [`bitonic`] — Batcher's bitonic sorter for power-of-two slices; its
+//!   stride structure is what the external-memory sort exploits.
+//! * [`shellsort`] — Goodrich's randomized Shellsort (SODA 2010), cited as
+//!   related work in the paper; provided as a practical randomized
+//!   alternative and exercised by the benches.
+//! * [`butterfly`] — the butterfly-like routing network of the paper's
+//!   Section 3 (Figure 1), in its in-memory circuit form, plus an ASCII
+//!   renderer that regenerates Figure 1.
+//! * [`external_sort`] — the paper's **Lemma 2** substitute: a deterministic
+//!   data-oblivious external-memory sort costing
+//!   `O((N/B)(1 + log²(N/M)))` I/Os, implemented as an external bitonic sort
+//!   whose small sub-problems are finished inside the private cache.
+//!
+//! Everything here is deterministic: on any two inputs of the same size the
+//! sequence of element positions touched — and for the external sort, the
+//! sequence of block addresses — is identical.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod bitonic;
+pub mod butterfly;
+pub mod compare;
+pub mod external_sort;
+pub mod network;
+pub mod shellsort;
+
+pub use batcher::odd_even_merge_sort;
+pub use bitonic::bitonic_sort_pow2;
+pub use external_sort::{external_oblivious_sort, external_oblivious_sort_by, SortOrder};
+pub use network::{Comparator, Network};

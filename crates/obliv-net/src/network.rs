@@ -1,0 +1,190 @@
+//! Explicit comparator networks.
+//!
+//! A comparator network is a data-independent circuit: a sequence of stages,
+//! each a set of disjoint [`Comparator`]s. Representing networks explicitly
+//! (rather than only as recursive procedures) buys us three things:
+//!
+//! * the test-suite can verify sorting networks exhaustively with the
+//!   **zero-one principle** (a comparator network sorts every input iff it
+//!   sorts every 0/1 input),
+//! * the benchmark harness can count comparators and depth, and
+//! * networks can be *applied* to any slice, which is how the in-memory
+//!   sorters double as circuit simulations (the paper lists "simulating a
+//!   circuit" as the canonical data-oblivious access pattern).
+
+use crate::compare::compare_exchange_by;
+use std::cmp::Ordering;
+
+/// A single ascending comparator between positions `lo < hi`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Comparator {
+    /// Lower wire index (receives the minimum).
+    pub lo: usize,
+    /// Higher wire index (receives the maximum).
+    pub hi: usize,
+}
+
+impl Comparator {
+    /// Creates a comparator, normalising the orientation to `lo < hi`.
+    pub fn new(a: usize, b: usize) -> Self {
+        assert_ne!(a, b, "a comparator needs two distinct wires");
+        Comparator {
+            lo: a.min(b),
+            hi: a.max(b),
+        }
+    }
+}
+
+/// A comparator network: stages of disjoint comparators over `width` wires.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Network {
+    width: usize,
+    stages: Vec<Vec<Comparator>>,
+}
+
+impl Network {
+    /// Creates an empty network over `width` wires.
+    pub fn new(width: usize) -> Self {
+        Network {
+            width,
+            stages: Vec::new(),
+        }
+    }
+
+    /// Number of wires.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of stages (the network's depth).
+    pub fn depth(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Total number of comparators.
+    pub fn size(&self) -> usize {
+        self.stages.iter().map(|s| s.len()).sum()
+    }
+
+    /// The stages themselves.
+    pub fn stages(&self) -> &[Vec<Comparator>] {
+        &self.stages
+    }
+
+    /// Appends a stage, checking that its comparators touch disjoint wires in
+    /// range.
+    pub fn push_stage(&mut self, stage: Vec<Comparator>) {
+        let mut used = vec![false; self.width];
+        for c in &stage {
+            assert!(c.hi < self.width, "comparator wire out of range");
+            assert!(
+                !used[c.lo] && !used[c.hi],
+                "comparators within a stage must be disjoint"
+            );
+            used[c.lo] = true;
+            used[c.hi] = true;
+        }
+        self.stages.push(stage);
+    }
+
+    /// Appends a single comparator as its own stage (convenience for
+    /// sequentially-generated networks).
+    pub fn push_comparator(&mut self, c: Comparator) {
+        assert!(c.hi < self.width, "comparator wire out of range");
+        self.stages.push(vec![c]);
+    }
+
+    /// Applies the network to a slice using the natural ordering.
+    pub fn apply<T: Ord>(&self, v: &mut [T]) {
+        self.apply_by(v, &|a: &T, b: &T| a.cmp(b));
+    }
+
+    /// Applies the network to a slice using a custom comparison.
+    pub fn apply_by<T, F>(&self, v: &mut [T], cmp: &F)
+    where
+        F: Fn(&T, &T) -> Ordering,
+    {
+        assert!(v.len() >= self.width, "slice narrower than the network");
+        for stage in &self.stages {
+            for c in stage {
+                compare_exchange_by(v, c.lo, c.hi, cmp);
+            }
+        }
+    }
+
+    /// Checks the zero-one principle exhaustively: the network sorts every
+    /// 0/1 input of length `width`. Exponential in `width`; intended for
+    /// tests with small widths.
+    pub fn sorts_all_zero_one_inputs(&self) -> bool {
+        assert!(self.width <= 24, "exhaustive 0-1 check limited to width 24");
+        for mask in 0u32..(1u32 << self.width) {
+            let mut v: Vec<u8> = (0..self.width).map(|i| ((mask >> i) & 1) as u8).collect();
+            self.apply(&mut v);
+            if v.windows(2).any(|w| w[0] > w[1]) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_wire_sorter() -> Network {
+        let mut n = Network::new(3);
+        n.push_stage(vec![Comparator::new(0, 1)]);
+        n.push_stage(vec![Comparator::new(1, 2)]);
+        n.push_stage(vec![Comparator::new(0, 1)]);
+        n
+    }
+
+    #[test]
+    fn comparator_orientation_is_normalised() {
+        let c = Comparator::new(5, 2);
+        assert_eq!(c.lo, 2);
+        assert_eq!(c.hi, 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn degenerate_comparator_is_rejected() {
+        let _ = Comparator::new(3, 3);
+    }
+
+    #[test]
+    fn three_wire_sorter_passes_zero_one_check() {
+        assert!(three_wire_sorter().sorts_all_zero_one_inputs());
+    }
+
+    #[test]
+    fn incomplete_network_fails_zero_one_check() {
+        let mut n = Network::new(3);
+        n.push_stage(vec![Comparator::new(0, 1)]);
+        assert!(!n.sorts_all_zero_one_inputs());
+    }
+
+    #[test]
+    fn apply_sorts_arbitrary_values_when_network_is_a_sorter() {
+        let n = three_wire_sorter();
+        let mut v = vec![30, 10, 20];
+        n.apply(&mut v);
+        assert_eq!(v, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn depth_and_size_are_reported() {
+        let n = three_wire_sorter();
+        assert_eq!(n.depth(), 3);
+        assert_eq!(n.size(), 3);
+        assert_eq!(n.width(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_comparators_in_one_stage_are_rejected() {
+        let mut n = Network::new(3);
+        n.push_stage(vec![Comparator::new(0, 1), Comparator::new(1, 2)]);
+    }
+}

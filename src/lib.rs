@@ -1,0 +1,1 @@
+pub use odo_core as core_alg;
