@@ -1,1 +1,191 @@
-//! placeholder
+//! # odo-baseline — naive reference algorithms for the benchmark harness
+//!
+//! The algorithms here are *correct and data-oblivious but deliberately
+//! unoptimized*: they realise the paper's constructions the way a first,
+//! direct translation would, so `odo-bench` can quantify exactly how much
+//! each I/O optimization in the main crates buys.
+//!
+//! Currently: [`naive_external_bitonic_sort`], the full-depth external
+//! bitonic sort. It executes every one of the `Θ(log² N)` compare-exchange
+//! levels of the bitonic network as its own external pass over the array —
+//! no in-cache finishing of small sub-problems, no fusing of levels — so it
+//! costs `Θ((N/B) log² N)` I/Os, versus the optimized sorter's
+//! `O((N/B)(1 + log²(N/M)))`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use extmem::element::Cell;
+use extmem::{ArrayHandle, BlockCache, ExtMem, IoStats};
+use obliv_net::compare::exchange_dir_by;
+use obliv_net::external_sort::SortOrder;
+use std::cmp::Ordering;
+
+/// What the naive sort did, alongside its I/O cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NaiveSortReport {
+    /// I/Os charged to this sort.
+    pub io: IoStats,
+    /// Number of compare-exchange levels executed, each as one full external
+    /// pass (`Σ_{k} log2(k) = log p (log p + 1)/2` for padded length `p`).
+    pub levels: usize,
+    /// Whether the input was padded to a power of two via a scratch array.
+    pub padded: bool,
+}
+
+/// Sorts array `h` by key (dummies last) with the full-depth external
+/// bitonic sort: every level of the network is one pass over the blocks.
+///
+/// Data-oblivious like the optimized sorter — every cell is rewritten
+/// unconditionally, so the trace is a function of the shape only — just
+/// expensive. `cache_elems` bounds the LRU block cache used per pass.
+pub fn naive_external_bitonic_sort(
+    mem: &mut ExtMem,
+    h: &ArrayHandle,
+    cache_elems: usize,
+    order: SortOrder,
+) -> NaiveSortReport {
+    use extmem::element::{cell_cmp_none_last, cell_cmp_none_last_desc};
+    match order {
+        SortOrder::Ascending => {
+            naive_external_bitonic_sort_by(mem, h, cache_elems, &cell_cmp_none_last)
+        }
+        SortOrder::Descending => {
+            naive_external_bitonic_sort_by(mem, h, cache_elems, &cell_cmp_none_last_desc)
+        }
+    }
+}
+
+/// [`naive_external_bitonic_sort`] with a custom total order on cells. For
+/// non-power-of-two lengths `cmp` must order dummies after occupied cells
+/// (the sort pads through a dummy-filled scratch array).
+pub fn naive_external_bitonic_sort_by<F>(
+    mem: &mut ExtMem,
+    h: &ArrayHandle,
+    cache_elems: usize,
+    cmp: &F,
+) -> NaiveSortReport
+where
+    F: Fn(&Cell, &Cell) -> Ordering,
+{
+    let b = h.block_elems();
+    assert!(
+        cache_elems >= 2 * b,
+        "external sort needs a private cache of at least two blocks (M >= 2B)"
+    );
+    let start = mem.stats();
+    let n = h.len();
+    if n <= 1 {
+        return NaiveSortReport {
+            io: mem.stats() - start,
+            levels: 0,
+            padded: false,
+        };
+    }
+    let p = n.next_power_of_two();
+    let mut report = if p == n {
+        sort_pow2(mem, h, cache_elems, cmp)
+    } else {
+        let scratch = mem.alloc_array(p);
+        for i in 0..h.n_blocks() {
+            let blk = mem.read_block(h, i);
+            mem.write_block(&scratch, i, blk);
+        }
+        let mut r = sort_pow2(mem, &scratch, cache_elems, cmp);
+        for i in 0..h.n_blocks() {
+            let blk = mem.read_block(&scratch, i);
+            mem.write_block(h, i, blk);
+        }
+        r.padded = true;
+        r
+    };
+    report.io = mem.stats() - start;
+    report
+}
+
+fn sort_pow2<F>(mem: &mut ExtMem, a: &ArrayHandle, cache_elems: usize, cmp: &F) -> NaiveSortReport
+where
+    F: Fn(&Cell, &Cell) -> Ordering,
+{
+    let b = a.block_elems();
+    let p = a.len();
+    let m_blocks = (cache_elems / b).max(2);
+    let mut levels = 0;
+    let mut k = 2;
+    while k <= p {
+        let mut s = k / 2;
+        while s >= 1 {
+            // One full external pass per level, at element granularity
+            // through the block cache. Unconditional writes keep every
+            // touched block dirty and the trace shape-determined.
+            let mut cache = BlockCache::new(mem, *a, m_blocks);
+            for i in 0..p {
+                if i & s == 0 {
+                    let l = i | s;
+                    let asc = i & k == 0;
+                    let (u, v) = (cache.read(i), cache.read(l));
+                    let (lo, hi) = exchange_dir_by(u, v, asc, cmp);
+                    cache.write(i, lo);
+                    cache.write(l, hi);
+                }
+            }
+            cache.flush();
+            levels += 1;
+            s /= 2;
+        }
+        k *= 2;
+    }
+    NaiveSortReport {
+        io: IoStats::default(),
+        levels,
+        padded: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extmem::Element;
+
+    fn keyed_input(n: usize, salt: u64) -> Vec<Element> {
+        (0..n)
+            .map(|i| Element::keyed(extmem::util::hash64(i as u64, salt) % 997, i))
+            .collect()
+    }
+
+    #[test]
+    fn sorts_correctly() {
+        for (n, b, m) in [(64usize, 4usize, 16usize), (256, 8, 64), (100, 8, 32)] {
+            let mut mem = ExtMem::new(b);
+            let input = keyed_input(n, 1);
+            let h = mem.alloc_array_from_elements(&input);
+            naive_external_bitonic_sort(&mut mem, &h, m, SortOrder::Ascending);
+            let mut expected = input;
+            expected.sort_unstable();
+            assert_eq!(mem.snapshot_elements(&h), expected);
+        }
+    }
+
+    #[test]
+    fn executes_full_depth_levels() {
+        let mut mem = ExtMem::new(8);
+        let h = mem.alloc_array_from_elements(&keyed_input(256, 2));
+        let report = naive_external_bitonic_sort(&mut mem, &h, 32, SortOrder::Ascending);
+        // log p = 8 → 8·9/2 = 36 levels, each one read+write pass over 32
+        // blocks.
+        assert_eq!(report.levels, 36);
+        assert_eq!(report.io.total(), 36 * 2 * 32);
+    }
+
+    #[test]
+    fn descending_works() {
+        let mut mem = ExtMem::new(4);
+        let input = keyed_input(32, 9);
+        let h = mem.alloc_array_from_elements(&input);
+        naive_external_bitonic_sort(&mut mem, &h, 16, SortOrder::Descending);
+        let mut expected = input;
+        expected.sort_unstable();
+        expected.reverse();
+        assert_eq!(mem.snapshot_elements(&h), expected);
+    }
+}

@@ -1,0 +1,64 @@
+//! `odo-bench` binary: runs the sort benchmark grid and writes
+//! `BENCH_sort.json` into the current directory.
+//!
+//! Usage: `cargo run --release -p odo-bench` (from the repo root, so the
+//! JSON lands next to `Cargo.toml`).
+
+use odo_bench::{default_grid, run_sort_point, to_json, to_table, GridPoint};
+
+fn main() {
+    let grid = default_grid();
+    let mut results = Vec::with_capacity(grid.len());
+    for point in grid {
+        eprintln!(
+            "measuring N={} B={} M={} (optimized + naive)...",
+            point.n, point.b, point.m
+        );
+        results.push(run_sort_point(point, true));
+    }
+
+    print!("{}", to_table(&results));
+
+    let json = to_json(&results);
+    let path = "BENCH_sort.json";
+    std::fs::write(path, &json).expect("failed to write BENCH_sort.json");
+    println!("wrote {path}");
+
+    // Enforce the acceptance gates so CI fails loudly on regressions:
+    // every point within the bound, and the headline point
+    // (N=2^18, B=64, M=2^13) at least 3× cheaper than the naive baseline.
+    let mut failed = false;
+    for r in &results {
+        if !r.within_bound {
+            eprintln!(
+                "BOUND VIOLATION at N={} B={} M={}: {} > {}",
+                r.point.n,
+                r.point.b,
+                r.point.m,
+                r.optimized.total(),
+                r.bound_total
+            );
+            failed = true;
+        }
+    }
+    let headline = GridPoint {
+        n: 1 << 18,
+        b: 64,
+        m: 1 << 13,
+    };
+    if let Some(r) = results.iter().find(|r| r.point == headline) {
+        let speedup = r.speedup().unwrap_or(0.0);
+        println!(
+            "headline (N=2^18, B=64, M=2^13): {} I/Os vs naive {} — {speedup:.2}x",
+            r.optimized.total(),
+            r.naive.map(|n| n.total()).unwrap_or(0)
+        );
+        if speedup < 3.0 {
+            eprintln!("HEADLINE REGRESSION: speedup {speedup:.2}x < 3x");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

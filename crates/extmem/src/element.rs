@@ -102,6 +102,20 @@ pub fn cell_cmp_none_last(a: &Cell, b: &Cell) -> Ordering {
     }
 }
 
+/// Compares two cells by *descending* element order while still treating
+/// `None` as the very last value, the order a descending sort with
+/// dummies-at-the-end padding needs (the padding argument of the external
+/// sorts relies on dummies never sorting before an occupied cell).
+#[inline]
+pub fn cell_cmp_none_last_desc(a: &Cell, b: &Cell) -> Ordering {
+    match (a, b) {
+        (Some(x), Some(y)) => y.cmp(x),
+        (Some(_), None) => Ordering::Less,
+        (None, Some(_)) => Ordering::Greater,
+        (None, None) => Ordering::Equal,
+    }
+}
+
 /// Compares two cells treating `None` as −∞ (occasionally needed when packing
 /// occupied cells towards the end of an array).
 #[inline]

@@ -1,1 +1,12 @@
-//! placeholder
+//! # odo-iblt — invertible Bloom lookup tables (placeholder)
+//!
+//! The paper's randomized compaction algorithms use IBLT-style summaries;
+//! this crate hosts them when the compaction PRs land. For now it only
+//! pins the workspace member and its dependency on the machine model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+// Re-exported so the dependency is exercised and the crate graph stays
+// honest until the real implementation lands.
+pub use extmem::util::hash64;

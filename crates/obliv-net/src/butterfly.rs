@@ -116,10 +116,12 @@ pub fn route_with_labels<T: Clone>(
     }
     Ok(cur
         .into_iter()
-        .map(|slot| slot.map(|(item, d)| {
-            debug_assert_eq!(d, 0, "all distance must be consumed by the last level");
-            item
-        }))
+        .map(|slot| {
+            slot.map(|(item, d)| {
+                debug_assert_eq!(d, 0, "all distance must be consumed by the last level");
+                item
+            })
+        })
         .collect())
 }
 
@@ -164,7 +166,10 @@ pub fn expand<T: Clone>(cells: &[Option<T>], targets: &[usize]) -> Vec<Option<T>
             .expect("occupied position exists");
         let mirrored_src = n - 1 - src;
         let mirrored_dst = n - 1 - targets[i];
-        assert!(mirrored_dst <= mirrored_src, "targets must not move items left");
+        assert!(
+            mirrored_dst <= mirrored_src,
+            "targets must not move items left"
+        );
         mirrored[mirrored_src] = Some((*item).clone());
         labels[mirrored_src] = Some(mirrored_src - mirrored_dst);
     }
@@ -258,11 +263,29 @@ mod tests {
 
     #[test]
     fn compact_moves_items_to_front_preserving_order() {
-        let cells = vec![None, Some(10u32), None, None, Some(20), Some(30), None, Some(40)];
+        let cells = vec![
+            None,
+            Some(10u32),
+            None,
+            None,
+            Some(20),
+            Some(30),
+            None,
+            Some(40),
+        ];
         let out = compact(&cells);
         assert_eq!(
             out,
-            vec![Some(10), Some(20), Some(30), Some(40), None, None, None, None]
+            vec![
+                Some(10),
+                Some(20),
+                Some(30),
+                Some(40),
+                None,
+                None,
+                None,
+                None
+            ]
         );
     }
 
@@ -286,11 +309,21 @@ mod tests {
         };
         for n in [5usize, 16, 33, 100, 257] {
             let cells: Vec<Option<u64>> = (0..n)
-                .map(|i| if next() % 3 == 0 { Some(i as u64) } else { None })
+                .map(|i| {
+                    if next() % 3 == 0 {
+                        Some(i as u64)
+                    } else {
+                        None
+                    }
+                })
                 .collect();
             let out = compact(&cells);
             let expected: Vec<u64> = cells.iter().filter_map(|c| *c).collect();
-            let got: Vec<u64> = out.iter().take(expected.len()).map(|c| c.unwrap()).collect();
+            let got: Vec<u64> = out
+                .iter()
+                .take(expected.len())
+                .map(|c| c.unwrap())
+                .collect();
             assert_eq!(got, expected);
             assert!(out.iter().skip(expected.len()).all(|c| c.is_none()));
         }

@@ -56,6 +56,43 @@ where
     }
 }
 
+/// Compare-exchange that routes the minimum to `min_idx` and the maximum to
+/// `max_idx`, with no constraint on which index is lower. This is what a
+/// *directed* comparator of a bitonic network performs: descending
+/// comparators are simply `min_idx > max_idx`.
+#[inline]
+pub fn compare_exchange_min_max_by<T, F>(v: &mut [T], min_idx: usize, max_idx: usize, cmp: &F)
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    debug_assert_ne!(min_idx, max_idx);
+    if cmp(&v[min_idx], &v[max_idx]) == Ordering::Greater {
+        v.swap(min_idx, max_idx);
+    }
+}
+
+/// Orders an owned pair for a directional comparator: returns the values in
+/// the order they belong at `(lower index, higher index)` — minimum first
+/// when `ascending`, maximum first otherwise.
+///
+/// This is the by-value form of the compare-exchange used by the external
+/// sorters, which read cells out of blocks or caches and write both back
+/// unconditionally (so the server-visible access pattern never depends on
+/// whether the pair swapped).
+#[inline]
+pub fn exchange_dir_by<T, F>(u: T, v: T, ascending: bool, cmp: &F) -> (T, T)
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    let swap = cmp(&u, &v) == Ordering::Greater;
+    let (small, large) = if swap { (v, u) } else { (u, v) };
+    if ascending {
+        (small, large)
+    } else {
+        (large, small)
+    }
+}
+
 /// Returns `true` if `v` is sorted according to `cmp`.
 pub fn is_sorted_by<T, F>(v: &[T], cmp: &F) -> bool
 where

@@ -39,6 +39,9 @@ pub mod network;
 pub mod shellsort;
 
 pub use batcher::odd_even_merge_sort;
-pub use bitonic::bitonic_sort_pow2;
-pub use external_sort::{external_oblivious_sort, external_oblivious_sort_by, SortOrder};
+pub use bitonic::{bitonic_merge_pow2_by, bitonic_network, bitonic_sort_pow2};
+pub use external_sort::{
+    external_oblivious_sort, external_oblivious_sort_by, SortOrder, SortReport,
+};
 pub use network::{Comparator, Network};
+pub use shellsort::randomized_shellsort;

@@ -12,26 +12,46 @@
 //!   sorters double as circuit simulations (the paper lists "simulating a
 //!   circuit" as the canonical data-oblivious access pattern).
 
-use crate::compare::compare_exchange_by;
+use crate::compare::compare_exchange_min_max_by;
 use std::cmp::Ordering;
 
-/// A single ascending comparator between positions `lo < hi`.
+/// A single comparator: wire `lo` receives the minimum, wire `hi` the
+/// maximum. When `lo < hi` the comparator is *ascending*; a *descending*
+/// comparator (as bitonic networks use in their odd halves) has `lo > hi`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Comparator {
-    /// Lower wire index (receives the minimum).
+    /// Wire index that receives the minimum.
     pub lo: usize,
-    /// Higher wire index (receives the maximum).
+    /// Wire index that receives the maximum.
     pub hi: usize,
 }
 
 impl Comparator {
-    /// Creates a comparator, normalising the orientation to `lo < hi`.
+    /// Creates an ascending comparator, normalising the orientation to
+    /// `lo < hi`.
     pub fn new(a: usize, b: usize) -> Self {
         assert_ne!(a, b, "a comparator needs two distinct wires");
         Comparator {
             lo: a.min(b),
             hi: a.max(b),
         }
+    }
+
+    /// Creates a directed comparator: `min_wire` receives the minimum and
+    /// `max_wire` the maximum, in either index order. Needed to express
+    /// networks with descending comparators (e.g. the bitonic sorter)
+    /// exactly as their recursive procedures execute them.
+    pub fn directed(min_wire: usize, max_wire: usize) -> Self {
+        assert_ne!(min_wire, max_wire, "a comparator needs two distinct wires");
+        Comparator {
+            lo: min_wire,
+            hi: max_wire,
+        }
+    }
+
+    /// Whether the comparator is ascending (`lo < hi`).
+    pub fn is_ascending(&self) -> bool {
+        self.lo < self.hi
     }
 }
 
@@ -76,7 +96,7 @@ impl Network {
     pub fn push_stage(&mut self, stage: Vec<Comparator>) {
         let mut used = vec![false; self.width];
         for c in &stage {
-            assert!(c.hi < self.width, "comparator wire out of range");
+            assert!(c.lo.max(c.hi) < self.width, "comparator wire out of range");
             assert!(
                 !used[c.lo] && !used[c.hi],
                 "comparators within a stage must be disjoint"
@@ -90,7 +110,7 @@ impl Network {
     /// Appends a single comparator as its own stage (convenience for
     /// sequentially-generated networks).
     pub fn push_comparator(&mut self, c: Comparator) {
-        assert!(c.hi < self.width, "comparator wire out of range");
+        assert!(c.lo.max(c.hi) < self.width, "comparator wire out of range");
         self.stages.push(vec![c]);
     }
 
@@ -107,7 +127,7 @@ impl Network {
         assert!(v.len() >= self.width, "slice narrower than the network");
         for stage in &self.stages {
             for c in stage {
-                compare_exchange_by(v, c.lo, c.hi, cmp);
+                compare_exchange_min_max_by(v, c.lo, c.hi, cmp);
             }
         }
     }
@@ -179,6 +199,17 @@ mod tests {
         assert_eq!(n.depth(), 3);
         assert_eq!(n.size(), 3);
         assert_eq!(n.width(), 3);
+    }
+
+    #[test]
+    fn directed_comparator_routes_max_to_lower_wire() {
+        let mut n = Network::new(2);
+        n.push_comparator(Comparator::directed(1, 0)); // descending
+        let mut v = vec![1, 5];
+        n.apply(&mut v);
+        assert_eq!(v, vec![5, 1]);
+        assert!(!Comparator::directed(1, 0).is_ascending());
+        assert!(Comparator::new(1, 0).is_ascending());
     }
 
     #[test]

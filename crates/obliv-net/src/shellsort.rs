@@ -1,0 +1,277 @@
+//! Goodrich's randomized Shellsort (SODA 2010).
+//!
+//! A randomized data-oblivious sorting algorithm that runs in `O(n log n)`
+//! comparisons and sorts any input with very high probability. The paper
+//! under reproduction cites it as the practical randomized alternative to
+//! `O(n log² n)` deterministic networks.
+//!
+//! The algorithm proceeds over geometrically decreasing offsets
+//! `n/2, n/4, …, 1`. For each offset the array is viewed as consecutive
+//! *regions* of that size, and pairs of regions are *region
+//! compare-exchanged*: a few random matchings are drawn between the two
+//! regions and each matched pair is compare-exchanged, smaller element to the
+//! left region. Per offset the paper runs a shaker pass (adjacent regions
+//! left-to-right, then right-to-left), then a brick pass (regions 3 apart,
+//! 2 apart, then even-adjacent and odd-adjacent pairs).
+//!
+//! **Obliviousness by construction:** the full comparator schedule is
+//! generated up front by [`comparison_schedule`] from `(n, seed)` alone —
+//! the data is only ever touched through compare-exchanges at
+//! schedule-determined positions, so for a fixed seed the access pattern is
+//! identical on every input of the same length (the fixed-seed determinism
+//! test asserts exactly this).
+
+use crate::compare::compare_exchange_by;
+use extmem::util::splitmix64;
+use std::cmp::Ordering;
+
+/// Number of random matchings per region compare-exchange. The analysis
+/// needs only a constant; using a few keeps the failure probability
+/// negligible at the small sizes the test-suite exercises.
+const MATCHINGS: usize = 4;
+
+/// A tiny deterministic xorshift64* generator seeded via `splitmix64`.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        // Avoid the all-zero fixed point.
+        Rng(splitmix64(seed) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, n)`.
+    fn below(&mut self, n: usize) -> usize {
+        (((self.next() as u128) * (n as u128)) >> 64) as usize
+    }
+}
+
+/// A Fisher–Yates random permutation of `0..n`.
+fn permutation(rng: &mut Rng, n: usize) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.below(i + 1);
+        p.swap(i, j);
+    }
+    p
+}
+
+/// Emits the compare-exchange pairs of a region compare-exchange between the
+/// regions starting at `a` and `b` (`a < b`), each `len` elements long.
+fn region_compare_exchange(
+    schedule: &mut Vec<(usize, usize)>,
+    rng: &mut Rng,
+    a: usize,
+    b: usize,
+    len: usize,
+) {
+    for _ in 0..MATCHINGS {
+        let perm = permutation(rng, len);
+        for (i, &j) in perm.iter().enumerate() {
+            schedule.push((a + i, b + j));
+        }
+    }
+}
+
+/// Generates the full comparator schedule for length `n` (a power of two)
+/// and the given seed. Every emitted pair `(i, j)` has `i < j` and is
+/// compare-exchanged ascending (minimum to `i`).
+///
+/// # Panics
+/// Panics if `n` is not a power of two (the structure of the offset sequence
+/// assumes it; callers pad if needed).
+pub fn comparison_schedule(n: usize, seed: u64) -> Vec<(usize, usize)> {
+    assert!(
+        n.is_power_of_two() || n <= 1,
+        "randomized Shellsort requires a power-of-two length"
+    );
+    let mut schedule = Vec::new();
+    if n <= 1 {
+        return schedule;
+    }
+    let mut rng = Rng::new(seed);
+    let mut offset = n / 2;
+    while offset >= 1 {
+        let regions = n / offset;
+        // Shaker pass: adjacent regions left-to-right…
+        for i in 0..regions - 1 {
+            region_compare_exchange(
+                &mut schedule,
+                &mut rng,
+                i * offset,
+                (i + 1) * offset,
+                offset,
+            );
+        }
+        // …then right-to-left.
+        for i in (0..regions - 1).rev() {
+            region_compare_exchange(
+                &mut schedule,
+                &mut rng,
+                i * offset,
+                (i + 1) * offset,
+                offset,
+            );
+        }
+        // Brick pass: regions 3 apart, 2 apart, then even- and odd-adjacent.
+        for i in 0..regions.saturating_sub(3) {
+            region_compare_exchange(
+                &mut schedule,
+                &mut rng,
+                i * offset,
+                (i + 3) * offset,
+                offset,
+            );
+        }
+        for i in 0..regions.saturating_sub(2) {
+            region_compare_exchange(
+                &mut schedule,
+                &mut rng,
+                i * offset,
+                (i + 2) * offset,
+                offset,
+            );
+        }
+        for i in (0..regions - 1).step_by(2) {
+            region_compare_exchange(
+                &mut schedule,
+                &mut rng,
+                i * offset,
+                (i + 1) * offset,
+                offset,
+            );
+        }
+        for i in (1..regions.saturating_sub(1)).step_by(2) {
+            region_compare_exchange(
+                &mut schedule,
+                &mut rng,
+                i * offset,
+                (i + 1) * offset,
+                offset,
+            );
+        }
+        offset /= 2;
+    }
+    schedule
+}
+
+/// Sorts a power-of-two-length slice ascending with randomized Shellsort
+/// (with very high probability), deterministically for a fixed `seed`.
+pub fn randomized_shellsort<T: Ord>(v: &mut [T], seed: u64) {
+    randomized_shellsort_by(v, seed, &|a: &T, b: &T| a.cmp(b));
+}
+
+/// Sorts with a custom comparison; see [`randomized_shellsort`].
+pub fn randomized_shellsort_by<T, F>(v: &mut [T], seed: u64, cmp: &F)
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    for (i, j) in comparison_schedule(v.len(), seed) {
+        compare_exchange_by(v, i, j, cmp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random_input(n: usize, salt: u64) -> Vec<u64> {
+        (0..n as u64)
+            .map(|i| splitmix64(i ^ salt) % 10_000)
+            .collect()
+    }
+
+    #[test]
+    fn sorts_random_inputs() {
+        for n in [2usize, 4, 16, 64, 256, 1024] {
+            for salt in [1u64, 2, 3] {
+                let mut v = pseudo_random_input(n, salt);
+                let mut expected = v.clone();
+                expected.sort_unstable();
+                randomized_shellsort(&mut v, 0xC0FFEE);
+                assert_eq!(v, expected, "failed for n={n} salt={salt}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_seed_is_deterministic() {
+        // The comparator schedule — i.e. the entire access pattern — is a
+        // function of (n, seed) only, never of the data.
+        let a = comparison_schedule(128, 99);
+        let b = comparison_schedule(128, 99);
+        assert_eq!(a, b);
+        // Sorting twice with the same seed gives identical results.
+        let mut x = pseudo_random_input(128, 5);
+        let mut y = x.clone();
+        randomized_shellsort(&mut x, 99);
+        randomized_shellsort(&mut y, 99);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        assert_ne!(comparison_schedule(64, 1), comparison_schedule(64, 2));
+    }
+
+    #[test]
+    fn schedule_pairs_are_oriented_and_in_range() {
+        let n = 64;
+        for (i, j) in comparison_schedule(n, 7) {
+            assert!(i < j && j < n);
+        }
+    }
+
+    #[test]
+    fn schedule_size_is_quasilinear() {
+        // O(n log n): per offset a constant number of region passes, each
+        // touching each element MATCHINGS times.
+        let n = 256;
+        let len = comparison_schedule(n, 3).len();
+        let passes_bound = 6 * MATCHINGS; // shaker(2) + brick(4) passes
+        assert!(len <= passes_bound * n * 8 /* log2(256) */);
+    }
+
+    #[test]
+    fn trivial_lengths_are_fine() {
+        let mut empty: Vec<u32> = vec![];
+        randomized_shellsort(&mut empty, 1);
+        let mut one = vec![5u32];
+        randomized_shellsort(&mut one, 1);
+        assert_eq!(one, vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_is_rejected() {
+        let mut v = vec![3u32, 1, 2];
+        randomized_shellsort(&mut v, 0);
+    }
+
+    #[test]
+    fn handles_adversarial_patterns() {
+        for n in [64usize, 256] {
+            // Reversed, sorted, organ-pipe, constant.
+            let patterns: Vec<Vec<u64>> = vec![
+                (0..n as u64).rev().collect(),
+                (0..n as u64).collect(),
+                (0..n as u64 / 2).chain((0..n as u64 / 2).rev()).collect(),
+                vec![7; n],
+            ];
+            for mut v in patterns {
+                let mut expected = v.clone();
+                expected.sort_unstable();
+                randomized_shellsort(&mut v, 0xDEADBEEF);
+                assert_eq!(v, expected);
+            }
+        }
+    }
+}

@@ -1,1 +1,85 @@
-//! placeholder
+//! # odo-core — the workspace's algorithm façade
+//!
+//! Re-exports the public API of the data-oblivious external-memory workspace
+//! in one place, so downstream users (the root `odo` crate, the examples,
+//! the benchmark harness) depend on a single crate:
+//!
+//! * [`extmem`] — the machine model: [`ExtMem`], [`Config`], blocks, I/O
+//!   accounting, access traces and the obliviousness test utilities.
+//! * [`obliv_net`] — the sorting and routing networks, headlined by
+//!   [`external_oblivious_sort`], the paper's Lemma 2 deterministic external
+//!   oblivious sort.
+//!
+//! The paper's compaction, selection and quantile algorithms land here in
+//! subsequent PRs, layered on the same two crates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use extmem;
+pub use obliv_net;
+
+pub use extmem::{
+    AccessEvent, AccessOp, AccessTrace, ArrayHandle, Block, BlockCache, CacheBudget, Cell, Config,
+    ConfigError, Element, ExtMem, IoStats,
+};
+pub use obliv_net::{
+    bitonic_sort_pow2, external_oblivious_sort, external_oblivious_sort_by, odd_even_merge_sort,
+    randomized_shellsort, Comparator, Network, SortOrder, SortReport,
+};
+
+/// Everything a typical caller needs, importable with one `use`.
+pub mod prelude {
+    pub use extmem::{Cell, Config, Element, ExtMem, IoStats};
+    pub use obliv_net::{external_oblivious_sort, SortOrder, SortReport};
+}
+
+/// Sorts `items` on an outsourced store configured by `cfg` and returns the
+/// sorted elements together with the exact I/O cost — the one-call form of
+/// the paper's headline sorting result.
+///
+/// # Panics
+/// Panics if `cfg` fails basic validation (`N ≥ 1`, `B ≥ 1`, `M ≥ 2B`) or
+/// if `items.len()` disagrees with `cfg.n_elements` — the validated model
+/// point must describe the data actually sorted.
+pub fn sort_outsourced(
+    cfg: &Config,
+    items: &[Element],
+    order: SortOrder,
+) -> (Vec<Element>, SortReport) {
+    cfg.validate().expect("invalid (N, B, M) configuration");
+    assert_eq!(
+        items.len(),
+        cfg.n_elements,
+        "items.len() must equal the configured N"
+    );
+    let mut mem = ExtMem::new(cfg.block_elems);
+    let h = mem.alloc_array_from_elements(items);
+    let report = external_oblivious_sort(&mut mem, &h, cfg.cache_elems, order);
+    (mem.snapshot_elements(&h), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_outsourced_sorts_and_reports_io() {
+        let cfg = Config::new(200, 8, 64);
+        let items: Vec<Element> = (0..200)
+            .map(|i| Element::keyed(199 - i as u64, i))
+            .collect();
+        let (sorted, report) = sort_outsourced(&cfg, &items, SortOrder::Ascending);
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(sorted.len(), 200);
+        assert!(report.io.total() > 0);
+        assert!(report.padded, "200 is not a power of two");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn invalid_config_is_rejected() {
+        let cfg = Config::new(10, 8, 8); // cache holds only one block
+        sort_outsourced(&cfg, &[Element::new(1, 0)], SortOrder::Ascending);
+    }
+}

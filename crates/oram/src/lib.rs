@@ -1,1 +1,13 @@
-//! placeholder
+//! # odo-oram — oblivious RAM constructions (placeholder)
+//!
+//! The paper's simulation results (Theorems 9–11) build ORAMs from the
+//! oblivious sorting and compaction primitives; this crate hosts them when
+//! the simulation PRs land. For now it only pins the workspace member and
+//! its dependency on the machine model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+// Re-exported so the dependency is exercised and the crate graph stays
+// honest until the real implementation lands.
+pub use extmem::ExtMem;

@@ -1,1 +1,44 @@
-fn main() { println!("quickstart placeholder"); }
+//! Quickstart: sort an outsourced array obliviously and count the I/Os the
+//! honest-but-curious server observes.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use odo::prelude::*;
+
+fn main() {
+    // The model: N elements outsourced to Bob in blocks of B, Alice owns a
+    // private cache of M words.
+    let (n, b, m) = (1 << 14, 64, 1 << 10);
+    let cfg = Config::new(n, b, m);
+    cfg.validate().expect("valid model parameters");
+
+    // Bob's store, with the adversary's trace captured.
+    let mut mem = ExtMem::with_trace(b);
+    let items: Vec<Element> = (0..n)
+        .map(|i| Element::keyed((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40, i))
+        .collect();
+    let h = mem.alloc_array_from_elements(&items);
+
+    // The paper's Lemma 2 sort: O((N/B)(1 + log²(N/M))) I/Os.
+    let report = external_oblivious_sort(&mut mem, &h, m, SortOrder::Ascending);
+
+    let sorted = mem.snapshot_elements(&h);
+    assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "output is sorted");
+
+    println!("sorted N={n} elements (B={b}, M={m})");
+    println!(
+        "I/Os: {} reads + {} writes = {} total",
+        report.io.reads,
+        report.io.writes,
+        report.io.total()
+    );
+    println!(
+        "structure: {} in-cache presort regions of {} elems, {} external levels, {} finishing passes",
+        report.presort_regions, report.region_elems, report.external_levels, report.finish_passes
+    );
+    let trace = mem.take_trace().expect("trace was enabled");
+    println!(
+        "adversary saw {} block accesses — and would see the identical sequence for ANY input of this shape",
+        trace.len()
+    );
+}

@@ -1,1 +1,17 @@
+//! # odo — data-oblivious external-memory algorithms for outsourced data
+//!
+//! Rust reproduction of Goodrich's SPAA 2011 paper *"Data-Oblivious
+//! External-Memory Algorithms for the Compaction, Selection, and Sorting of
+//! Outsourced Data"*. The root crate is a thin façade: the machine model
+//! lives in `odo-extmem`, the sorting networks and the external oblivious
+//! sort in `odo-obliv-net`, naive baselines in `odo-baseline`, and the
+//! I/O-count benchmark harness in `odo-bench` (binary: `odo-bench`).
+//!
+//! See `examples/quickstart.rs` for a five-line tour.
+
+#![forbid(unsafe_code)]
+
 pub use odo_core as core_alg;
+
+pub use baseline as baseline_alg;
+pub use odo_core::prelude;
