@@ -5,18 +5,28 @@
 //! direct translation would, so `odo-bench` can quantify exactly how much
 //! each I/O optimization in the main crates buys.
 //!
-//! Currently: [`naive_external_bitonic_sort`], the full-depth external
-//! bitonic sort. It executes every one of the `Θ(log² N)` compare-exchange
-//! levels of the bitonic network as its own external pass over the array —
-//! no in-cache finishing of small sub-problems, no fusing of levels — so it
-//! costs `Θ((N/B) log² N)` I/Os, versus the optimized sorter's
-//! `O((N/B)(1 + log²(N/M)))`.
+//! Currently:
+//!
+//! * [`naive_external_bitonic_sort`] — the full-depth external bitonic sort.
+//!   It executes every one of the `Θ(log² N)` compare-exchange levels of the
+//!   bitonic network as its own external pass over the array — no in-cache
+//!   finishing of small sub-problems, no fusing of levels — so it costs
+//!   `Θ((N/B) log² N)` I/Os, versus the optimized sorter's
+//!   `O((N/B)(1 + log²(N/M)))`.
+//! * [`naive_external_butterfly_compact`] — the full-depth external butterfly
+//!   compaction (paper §3). It computes the distance labels with the same
+//!   streaming rank pass the optimized algorithm uses, but then executes
+//!   every one of the `⌈log₂ N⌉` routing levels as its own external
+//!   block-pair pass — no composition of the small-stride levels inside the
+//!   private cache — so it costs `Θ((N/B) log N)` I/Os, versus
+//!   `odo-core::compact`'s `O((N/B)(1 + log(N/M)))`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use extmem::element::Cell;
-use extmem::{ArrayHandle, BlockCache, ExtMem, IoStats};
+use extmem::{ArrayHandle, Block, BlockCache, Element, ExtMem, IoStats};
+use obliv_net::butterfly;
 use obliv_net::compare::exchange_dir_by;
 use obliv_net::external_sort::SortOrder;
 use std::cmp::Ordering;
@@ -142,10 +152,171 @@ where
     }
 }
 
+/// What the naive compaction did, alongside its I/O cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NaiveCompactReport {
+    /// I/Os charged to this compaction.
+    pub io: IoStats,
+    /// Number of butterfly levels executed, each as one full external pass.
+    pub levels: usize,
+    /// Number of occupied cells (the compacted prefix length).
+    pub occupied: usize,
+}
+
+/// Full-depth external butterfly compaction: occupied cells move to the
+/// front of `h` preserving their relative order, with every routing level of
+/// the §3 network run as its own external block-pair pass.
+///
+/// Data-oblivious like the optimized compaction — the pair sweep and the
+/// unconditional rewrites make the trace a function of the shape only — just
+/// expensive: `Θ((N/B) log N)` I/Os with no in-cache level composition.
+///
+/// # Panics
+/// Panics if `cache_elems < 4·B` or if `B` is not a power of two (the same
+/// block-alignment restriction as the optimized external path).
+pub fn naive_external_butterfly_compact(
+    mem: &mut ExtMem,
+    h: &ArrayHandle,
+    cache_elems: usize,
+) -> NaiveCompactReport {
+    let b = h.block_elems();
+    assert!(
+        cache_elems >= 4 * b,
+        "naive compaction needs a private cache of at least four blocks (M >= 4B)"
+    );
+    assert!(
+        b.is_power_of_two(),
+        "external butterfly compaction requires a power-of-two block size"
+    );
+    let start = mem.stats();
+    let n = h.len();
+    let lv = butterfly::levels(n);
+    if lv == 0 {
+        let occupied = mem.read_block(h, 0).occupancy().min(n);
+        return NaiveCompactReport {
+            io: mem.stats() - start,
+            levels: 0,
+            occupied,
+        };
+    }
+
+    // Distance-label pass (identical to the optimized algorithm's): occupied
+    // cell j gets label j - rank(j) in a parallel scratch array.
+    let dist = mem.alloc_array(n);
+    let mut rank = 0usize;
+    for beta in 0..h.n_blocks() {
+        let blk = mem.read_block(h, beta);
+        let mut lab = Block::empty(b);
+        for r in 0..b {
+            let j = beta * b + r;
+            if j >= n {
+                break;
+            }
+            if blk.get(r).is_some() {
+                lab.set(r, Some(Element::new((j - rank) as u64, 0)));
+                rank += 1;
+            }
+        }
+        mem.write_block(&dist, beta, lab);
+    }
+
+    // Every level is one external pass. Wires of stride s < B live inside a
+    // window of two consecutive blocks; wires of stride s ≥ B connect equal
+    // offsets of blocks (β, β + s/B). Either way: label pair first (decides
+    // and clears), then data pair, all writes unconditional.
+    for i in 0..lv {
+        let s = 1usize << i;
+        let nb = h.n_blocks();
+        let k = (s / b).max(1);
+        if s >= b && k >= nb {
+            continue; // no wire of this stride fits the array
+        }
+        for beta in 0..nb.saturating_sub(k) {
+            let mut mask = vec![false; 2 * b]; // source offsets within the pair
+            mem.modify_block_pair(&dist, beta, beta + k, |lo_blk, hi_blk| {
+                for r in 0..b {
+                    // Destination j = beta*b + r; source j + s sits at pair
+                    // offset r + s (s < B keeps it inside the two blocks;
+                    // s >= B aligns it to offset r of the high block).
+                    let off = if s < b { r + s } else { r + b };
+                    let src = if off < b {
+                        lo_blk.get(off)
+                    } else {
+                        hi_blk.get(off - b)
+                    };
+                    if let Some(d_el) = src {
+                        if d_el.key & s as u64 != 0 {
+                            let dst = lo_blk.get(r);
+                            assert!(dst.is_none(), "butterfly routing collision");
+                            mask[off] = true;
+                            lo_blk.set(r, Some(Element::new(d_el.key - s as u64, 0)));
+                            if off < b {
+                                lo_blk.set(off, None);
+                            } else {
+                                hi_blk.set(off - b, None);
+                            }
+                        }
+                    }
+                }
+            });
+            mem.modify_block_pair(h, beta, beta + k, |lo_blk, hi_blk| {
+                for r in 0..b {
+                    let off = if s < b { r + s } else { r + b };
+                    if mask[off] {
+                        let src = if off < b {
+                            lo_blk.get(off)
+                        } else {
+                            hi_blk.get(off - b)
+                        };
+                        lo_blk.set(r, src);
+                        if off < b {
+                            lo_blk.set(off, None);
+                        } else {
+                            hi_blk.set(off - b, None);
+                        }
+                    }
+                }
+            });
+        }
+        // Wires whose destination lies in the last k blocks have no pair
+        // partner; for s < B their intra-block hops still need one
+        // read-modify-write of the final block.
+        if s < b {
+            let beta = nb - 1;
+            let mut mask = vec![false; b];
+            let mut lab = mem.read_block(&dist, beta);
+            for r in 0..b.saturating_sub(s) {
+                if let Some(d_el) = lab.get(r + s) {
+                    if d_el.key & s as u64 != 0 {
+                        assert!(lab.get(r).is_none(), "butterfly routing collision");
+                        mask[r + s] = true;
+                        lab.set(r, Some(Element::new(d_el.key - s as u64, 0)));
+                        lab.set(r + s, None);
+                    }
+                }
+            }
+            mem.write_block(&dist, beta, lab);
+            let mut blk = mem.read_block(h, beta);
+            for r in 0..b.saturating_sub(s) {
+                if mask[r + s] {
+                    blk.set(r, blk.get(r + s));
+                    blk.set(r + s, None);
+                }
+            }
+            mem.write_block(h, beta, blk);
+        }
+    }
+
+    NaiveCompactReport {
+        io: mem.stats() - start,
+        levels: lv,
+        occupied: rank,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use extmem::Element;
 
     fn keyed_input(n: usize, salt: u64) -> Vec<Element> {
         (0..n)
@@ -187,5 +358,57 @@ mod tests {
         expected.sort_unstable();
         expected.reverse();
         assert_eq!(mem.snapshot_elements(&h), expected);
+    }
+
+    fn sparse_cells(n: usize, salt: u64) -> Vec<Cell> {
+        (0..n)
+            .map(|i| {
+                if extmem::util::hash64(i as u64, salt).is_multiple_of(3) {
+                    Some(Element::keyed(i as u64, i))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn naive_compact_matches_reference() {
+        for (n, b, m) in [
+            (64usize, 4usize, 16usize),
+            (256, 8, 64),
+            (100, 4, 16),
+            (7, 8, 32), // single block
+        ] {
+            for salt in [1u64, 2, 3] {
+                let cells = sparse_cells(n, salt);
+                let mut mem = ExtMem::new(b);
+                let h = mem.alloc_array_from_cells(&cells);
+                let report = naive_external_butterfly_compact(&mut mem, &h, m);
+                let mut expected: Vec<Cell> =
+                    cells.iter().filter(|c| c.is_some()).copied().collect();
+                expected.resize(n, None);
+                assert_eq!(mem.snapshot_cells(&h), expected, "N={n} B={b} M={m}");
+                assert_eq!(report.levels, butterfly::levels(n));
+                assert_eq!(
+                    report.occupied,
+                    cells.iter().filter(|c| c.is_some()).count()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn naive_compact_executes_full_depth() {
+        // Every level is an external pass: the I/O count scales with log N,
+        // not log(N/M), no matter how large the cache is.
+        let cells = sparse_cells(256, 5);
+        let mut mem = ExtMem::new(8);
+        let h = mem.alloc_array_from_cells(&cells);
+        let report = naive_external_butterfly_compact(&mut mem, &h, 1 << 16);
+        assert_eq!(report.levels, 8);
+        // Label pass: 32 reads + 32 writes. Each of the 8 levels rewrites
+        // label and data pairs across the whole array.
+        assert!(report.io.total() > 8 * 2 * 32);
     }
 }

@@ -16,17 +16,35 @@
 //! optimized sorter the harness runs the `baseline` crate's full-depth
 //! bitonic sort, so the speedup delivered by in-cache finishing and stride
 //! batching is measured, not assumed.
+//!
+//! For the §3 external butterfly compaction (`odo-core::compact`) the bound
+//! checked is
+//!
+//! ```text
+//! total I/Os  ≤  C_c · ⌈N/B⌉ · (1 + ⌈log2(⌈N/M⌉)⌉)
+//! ```
+//!
+//! with `C_c =` [`COMPACT_BOUND_CONSTANT`] — note the *single* log factor,
+//! the paper's compaction advantage over sorting. The compaction results are
+//! emitted as `BENCH_compact.json`; each point also runs the identical
+//! algorithm over an [`extmem::EncryptedStore`] and asserts the
+//! re-encryption layer adds **zero** I/Os.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use baseline::naive_external_bitonic_sort;
-use extmem::{Element, ExtMem, IoStats};
+use baseline::{naive_external_bitonic_sort, naive_external_butterfly_compact};
+use extmem::element::Cell;
+use extmem::{Element, EncryptedStore, ExtMem, IoStats};
 use obliv_net::external_sort::{external_oblivious_sort, SortOrder, SortReport};
+use odo_core::compact::{compact, CompactReport};
 use std::fmt::Write as _;
 
-/// The explicit constant `C` of the checked I/O bound.
+/// The explicit constant `C` of the checked sort I/O bound.
 pub const BOUND_CONSTANT: u64 = 4;
+
+/// The explicit constant `C_c` of the checked compaction I/O bound.
+pub const COMPACT_BOUND_CONSTANT: u64 = 32;
 
 /// One `(N, B, M)` parameter point of the benchmark grid.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -148,6 +166,145 @@ pub fn default_grid() -> Vec<GridPoint> {
     grid
 }
 
+/// A small smoke grid (`N = 2^12`) cheap enough to run in CI on every push:
+/// exercises the JSON emitters and the bound gates without the full-size
+/// simulation.
+pub fn smoke_grid() -> Vec<GridPoint> {
+    vec![
+        GridPoint {
+            n: 1 << 12,
+            b: 64,
+            m: 1 << 9,
+        },
+        GridPoint {
+            n: 1 << 12,
+            b: 64,
+            m: 1 << 10,
+        },
+    ]
+}
+
+/// The compaction bound `C_c · ⌈N/B⌉ · (1 + ⌈log2(⌈N/M⌉)⌉)` — one log
+/// factor, not two.
+pub fn compact_io_bound(n: usize, b: usize, m: usize) -> u64 {
+    let n_blocks = n.div_ceil(b) as u64;
+    let ratio = n.div_ceil(m);
+    let lg = if ratio <= 1 {
+        0u64
+    } else {
+        u64::from(usize::BITS - (ratio - 1).leading_zeros())
+    };
+    COMPACT_BOUND_CONSTANT * n_blocks * (1 + lg)
+}
+
+/// Deterministic pseudo-random occupancy (roughly half the cells occupied)
+/// used by every compaction benchmark run.
+pub fn bench_occupancy(n: usize, salt: u64) -> Vec<Cell> {
+    (0..n)
+        .map(|i| {
+            if extmem::util::hash64(i as u64, salt).is_multiple_of(2) {
+                Some(Element::keyed(i as u64, i))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// Measured result of one compaction grid point.
+#[derive(Clone, Debug)]
+pub struct CompactBenchResult {
+    /// The parameters measured.
+    pub point: GridPoint,
+    /// I/O statistics of the optimized external butterfly compaction.
+    pub optimized: IoStats,
+    /// Structural report of the optimized compaction.
+    pub report: CompactReport,
+    /// I/Os of the identical run over the re-encrypting store (always equal
+    /// to `optimized` — the encryption layer costs zero extra I/Os).
+    pub encrypted: IoStats,
+    /// I/O statistics of the naive full-depth baseline, if it was run.
+    pub naive: Option<IoStats>,
+    /// Levels the naive baseline executed, if it was run.
+    pub naive_levels: Option<usize>,
+    /// The bound `C_c · ⌈N/B⌉ · (1 + ⌈log2(⌈N/M⌉)⌉)`.
+    pub bound_total: u64,
+    /// Whether the optimized compaction satisfies the bound.
+    pub within_bound: bool,
+}
+
+impl CompactBenchResult {
+    /// Naive-over-optimized I/O ratio, if the naive baseline was run.
+    pub fn speedup(&self) -> Option<f64> {
+        self.naive
+            .map(|n| n.total() as f64 / self.optimized.total().max(1) as f64)
+    }
+}
+
+/// Measures one compaction grid point: the optimized butterfly compaction on
+/// a plain arena, the identical run over an [`EncryptedStore`] (asserting
+/// equal I/O counts and equal output), and optionally the naive full-depth
+/// baseline. Panics if any of them mis-compacts — a benchmark of a wrong
+/// algorithm is meaningless.
+pub fn run_compact_point(point: GridPoint, run_naive: bool) -> CompactBenchResult {
+    let GridPoint { n, b, m } = point;
+    let cells = bench_occupancy(n, 0xC0);
+    let mut expected: Vec<Cell> = cells.iter().filter(|c| c.is_some()).copied().collect();
+    expected.resize(n, None);
+
+    let mut mem = ExtMem::new(b);
+    let h = mem.alloc_array_from_cells(&cells);
+    let report = compact(&mut mem, &h, m);
+    assert_eq!(
+        mem.snapshot_cells(&h),
+        expected,
+        "optimized compaction failed at N={n} B={b} M={m}"
+    );
+    let optimized = report.io;
+
+    // The same algorithm over the re-encrypting store: every block is
+    // decrypted on read and re-encrypted (fresh nonce) on write, yet the I/O
+    // count and the address trace are identical.
+    let mut enc = EncryptedStore::new(b, 0x0D0_5EC);
+    let eh = enc.alloc_array_from_cells(&cells);
+    let ereport = compact(&mut enc, &eh, m);
+    assert_eq!(
+        enc.snapshot_cells(&eh),
+        expected,
+        "encrypted compaction failed at N={n} B={b} M={m}"
+    );
+    assert_eq!(
+        ereport.io, optimized,
+        "the encryption layer must add zero I/Os"
+    );
+
+    let (naive, naive_levels) = if run_naive {
+        let mut mem = ExtMem::new(b);
+        let h = mem.alloc_array_from_cells(&cells);
+        let nrep = naive_external_butterfly_compact(&mut mem, &h, m);
+        assert_eq!(
+            mem.snapshot_cells(&h),
+            expected,
+            "naive compaction failed at N={n} B={b} M={m}"
+        );
+        (Some(nrep.io), Some(nrep.levels))
+    } else {
+        (None, None)
+    };
+
+    let bound_total = compact_io_bound(n, b, m);
+    CompactBenchResult {
+        point,
+        optimized,
+        report,
+        encrypted: ereport.io,
+        naive,
+        naive_levels,
+        bound_total,
+        within_bound: optimized.total() <= bound_total,
+    }
+}
+
 /// Renders the results as the `BENCH_sort.json` document (hand-rolled JSON;
 /// the workspace deliberately has no external dependencies).
 pub fn to_json(results: &[SortBenchResult]) -> String {
@@ -190,6 +347,92 @@ pub fn to_json(results: &[SortBenchResult]) -> String {
         s.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ]\n}\n");
+    s
+}
+
+/// Renders the compaction results as the `BENCH_compact.json` document
+/// (hand-rolled JSON; the workspace deliberately has no external
+/// dependencies).
+pub fn compact_to_json(results: &[CompactBenchResult]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"benchmark\": \"external_butterfly_compaction\",\n");
+    s.push_str("  \"io_model\": \"1 I/O per block read or write, ExtMem::stats\",\n");
+    s.push_str("  \"bound\": \"C * ceil(N/B) * (1 + ceil(log2(ceil(N/M))))\",\n");
+    let _ = writeln!(s, "  \"bound_constant\": {COMPACT_BOUND_CONSTANT},");
+    s.push_str("  \"points\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let GridPoint { n, b, m } = r.point;
+        s.push_str("    {\n");
+        let _ = writeln!(s, "      \"n\": {n},");
+        let _ = writeln!(s, "      \"b\": {b},");
+        let _ = writeln!(s, "      \"m\": {m},");
+        let _ = writeln!(s, "      \"optimized_reads\": {},", r.optimized.reads);
+        let _ = writeln!(s, "      \"optimized_writes\": {},", r.optimized.writes);
+        let _ = writeln!(s, "      \"optimized_total\": {},", r.optimized.total());
+        let _ = writeln!(s, "      \"encrypted_total\": {},", r.encrypted.total());
+        let _ = writeln!(s, "      \"window_elems\": {},", r.report.window_elems);
+        let _ = writeln!(
+            s,
+            "      \"in_cache_levels\": {},",
+            r.report.in_cache_levels
+        );
+        let _ = writeln!(
+            s,
+            "      \"external_levels\": {},",
+            r.report.external_levels
+        );
+        let _ = writeln!(s, "      \"occupied\": {},", r.report.occupied);
+        let _ = writeln!(s, "      \"bound_total\": {},", r.bound_total);
+        match (r.naive, r.naive_levels, r.speedup()) {
+            (Some(naive), Some(levels), Some(speedup)) => {
+                let _ = writeln!(s, "      \"naive_total\": {},", naive.total());
+                let _ = writeln!(s, "      \"naive_levels\": {levels},");
+                let _ = writeln!(s, "      \"speedup_vs_naive\": {speedup:.2},");
+            }
+            _ => {
+                s.push_str("      \"naive_total\": null,\n");
+            }
+        }
+        let _ = writeln!(s, "      \"within_bound\": {}", r.within_bound);
+        s.push_str("    }");
+        s.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Renders a human-readable table of the compaction results.
+pub fn compact_to_table(results: &[CompactBenchResult]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:>8} {:>4} {:>6} {:>12} {:>12} {:>12} {:>8} {:>6}",
+        "N", "B", "M", "opt I/Os", "naive I/Os", "bound", "speedup", "ok"
+    );
+    for r in results {
+        let GridPoint { n, b, m } = r.point;
+        let naive = r
+            .naive
+            .map(|x| x.total().to_string())
+            .unwrap_or_else(|| "-".into());
+        let speedup = r
+            .speedup()
+            .map(|x| format!("{x:.2}x"))
+            .unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            s,
+            "{:>8} {:>4} {:>6} {:>12} {:>12} {:>12} {:>8} {:>6}",
+            n,
+            b,
+            m,
+            r.optimized.total(),
+            naive,
+            r.bound_total,
+            speedup,
+            if r.within_bound { "yes" } else { "NO" }
+        );
+    }
     s
 }
 
@@ -283,6 +526,92 @@ mod tests {
         assert!(json.contains("\"bound_constant\": 4"));
         assert!(json.contains("\"speedup_vs_naive\""));
         assert!(json.contains("\"within_bound\": true"));
+    }
+
+    #[test]
+    fn compact_bound_formula_matches_hand_computation() {
+        // N = 2^18, B = 64, M = 2^13: 32 * 4096 * (1 + 5) = 786,432.
+        assert_eq!(compact_io_bound(1 << 18, 64, 1 << 13), 786_432);
+        // N <= M: scan bound only.
+        assert_eq!(compact_io_bound(1 << 10, 64, 1 << 12), 32 * 16);
+    }
+
+    #[test]
+    fn compact_small_point_is_within_bound_and_beats_naive() {
+        let point = GridPoint {
+            n: 1 << 12,
+            b: 16,
+            m: 1 << 8,
+        };
+        let r = run_compact_point(point, true);
+        assert!(r.within_bound, "compaction exceeded the bound: {r:?}");
+        let speedup = r.speedup().unwrap();
+        assert!(speedup > 1.0, "naive baseline not beaten: {speedup:.2}x");
+        assert_eq!(r.encrypted, r.optimized);
+    }
+
+    #[test]
+    fn compact_json_has_all_points_and_fields() {
+        let results: Vec<CompactBenchResult> = [
+            GridPoint {
+                n: 256,
+                b: 8,
+                m: 64,
+            },
+            GridPoint {
+                n: 512,
+                b: 8,
+                m: 64,
+            },
+        ]
+        .into_iter()
+        .map(|p| run_compact_point(p, true))
+        .collect();
+        let json = compact_to_json(&results);
+        assert_eq!(json.matches("\"optimized_total\"").count(), 2);
+        assert!(json.contains("\"bound_constant\": 32"));
+        assert!(json.contains("\"encrypted_total\""));
+        assert!(json.contains("\"speedup_vs_naive\""));
+        assert!(json.contains("\"within_bound\": true"));
+    }
+
+    /// The I/O-bound regression gate: if a future refactor pushes the sort
+    /// past `C·(N/B)(1 + log²(N/M))` or the compaction past
+    /// `C_c·(N/B)(1 + log(N/M))` at any benchmark grid point, this test
+    /// fails — without needing the release-mode bench binary. (The naive
+    /// baselines are skipped here, and the `N = 2^18` points are left to the
+    /// release-mode bench binary, which gates them on every CI push — debug
+    /// builds simulate them too slowly for the unit-test suite.)
+    #[test]
+    fn io_bound_regression_at_grid_points() {
+        let test_sized = default_grid().into_iter().filter(|p| p.n <= 1 << 16);
+        for point in smoke_grid().into_iter().chain(test_sized) {
+            let s = run_sort_point(point, false);
+            assert!(
+                s.within_bound,
+                "sort exceeded its I/O bound at N={} B={} M={}: {} > {}",
+                point.n,
+                point.b,
+                point.m,
+                s.optimized.total(),
+                s.bound_total
+            );
+            let c = run_compact_point(point, false);
+            assert!(
+                c.within_bound,
+                "compaction exceeded its I/O bound at N={} B={} M={}: {} > {}",
+                point.n,
+                point.b,
+                point.m,
+                c.optimized.total(),
+                c.bound_total
+            );
+            assert_eq!(
+                c.encrypted, c.optimized,
+                "re-encryption added I/Os at N={} B={} M={}",
+                point.n, point.b, point.m
+            );
+        }
     }
 
     #[test]

@@ -1,37 +1,71 @@
-//! `odo-bench` binary: runs the sort benchmark grid and writes
-//! `BENCH_sort.json` into the current directory.
+//! `odo-bench` binary: runs the sort and compaction benchmark grids and
+//! writes `BENCH_sort.json` / `BENCH_compact.json` into the current
+//! directory.
 //!
-//! Usage: `cargo run --release -p odo-bench` (from the repo root, so the
-//! JSON lands next to `Cargo.toml`).
+//! Usage:
+//!
+//! * `cargo run --release -p odo-bench` — the full default grid (from the
+//!   repo root, so the JSON lands next to `Cargo.toml`).
+//! * `cargo run --release -p odo-bench -- --smoke` — the `N = 2^12` smoke
+//!   grid: same emitters, same bound gates, cheap enough for every CI push
+//!   (JSON goes to `BENCH_sort.smoke.json` / `BENCH_compact.smoke.json` so a
+//!   smoke run never clobbers the full-grid numbers).
 
-use odo_bench::{default_grid, run_sort_point, to_json, to_table, GridPoint};
+use odo_bench::{
+    compact_to_json, compact_to_table, default_grid, run_compact_point, run_sort_point, smoke_grid,
+    to_json, to_table, GridPoint,
+};
 
 fn main() {
-    let grid = default_grid();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let grid = if smoke { smoke_grid() } else { default_grid() };
+
+    // --- external oblivious sort ---
     let mut results = Vec::with_capacity(grid.len());
-    for point in grid {
+    for &point in &grid {
         eprintln!(
-            "measuring N={} B={} M={} (optimized + naive)...",
+            "sort: measuring N={} B={} M={} (optimized + naive)...",
             point.n, point.b, point.m
         );
         results.push(run_sort_point(point, true));
     }
-
     print!("{}", to_table(&results));
-
     let json = to_json(&results);
-    let path = "BENCH_sort.json";
-    std::fs::write(path, &json).expect("failed to write BENCH_sort.json");
+    let path = if smoke {
+        "BENCH_sort.smoke.json"
+    } else {
+        "BENCH_sort.json"
+    };
+    std::fs::write(path, &json).expect("failed to write the sort benchmark JSON");
     println!("wrote {path}");
 
-    // Enforce the acceptance gates so CI fails loudly on regressions:
-    // every point within the bound, and the headline point
-    // (N=2^18, B=64, M=2^13) at least 3× cheaper than the naive baseline.
+    // --- external butterfly compaction ---
+    let mut cresults = Vec::with_capacity(grid.len());
+    for &point in &grid {
+        eprintln!(
+            "compact: measuring N={} B={} M={} (optimized + encrypted + naive)...",
+            point.n, point.b, point.m
+        );
+        cresults.push(run_compact_point(point, true));
+    }
+    print!("{}", compact_to_table(&cresults));
+    let cjson = compact_to_json(&cresults);
+    let cpath = if smoke {
+        "BENCH_compact.smoke.json"
+    } else {
+        "BENCH_compact.json"
+    };
+    std::fs::write(cpath, &cjson).expect("failed to write the compaction benchmark JSON");
+    println!("wrote {cpath}");
+
+    // Enforce the acceptance gates so CI fails loudly on regressions: every
+    // point within its bound, compaction beating the naive baseline at every
+    // point, and (full grid only) the headline sort speedup.
     let mut failed = false;
     for r in &results {
         if !r.within_bound {
             eprintln!(
-                "BOUND VIOLATION at N={} B={} M={}: {} > {}",
+                "SORT BOUND VIOLATION at N={} B={} M={}: {} > {}",
                 r.point.n,
                 r.point.b,
                 r.point.m,
@@ -41,21 +75,55 @@ fn main() {
             failed = true;
         }
     }
-    let headline = GridPoint {
-        n: 1 << 18,
-        b: 64,
-        m: 1 << 13,
-    };
-    if let Some(r) = results.iter().find(|r| r.point == headline) {
-        let speedup = r.speedup().unwrap_or(0.0);
-        println!(
-            "headline (N=2^18, B=64, M=2^13): {} I/Os vs naive {} — {speedup:.2}x",
-            r.optimized.total(),
-            r.naive.map(|n| n.total()).unwrap_or(0)
-        );
-        if speedup < 3.0 {
-            eprintln!("HEADLINE REGRESSION: speedup {speedup:.2}x < 3x");
+    for r in &cresults {
+        if !r.within_bound {
+            eprintln!(
+                "COMPACT BOUND VIOLATION at N={} B={} M={}: {} > {}",
+                r.point.n,
+                r.point.b,
+                r.point.m,
+                r.optimized.total(),
+                r.bound_total
+            );
             failed = true;
+        }
+        if r.speedup().is_some_and(|s| s <= 1.0) {
+            eprintln!(
+                "COMPACT REGRESSION at N={} B={} M={}: naive is not beaten ({:?} vs {})",
+                r.point.n,
+                r.point.b,
+                r.point.m,
+                r.naive.map(|n| n.total()),
+                r.optimized.total()
+            );
+            failed = true;
+        }
+    }
+    if !smoke {
+        let headline = GridPoint {
+            n: 1 << 18,
+            b: 64,
+            m: 1 << 13,
+        };
+        if let Some(r) = results.iter().find(|r| r.point == headline) {
+            let speedup = r.speedup().unwrap_or(0.0);
+            println!(
+                "sort headline (N=2^18, B=64, M=2^13): {} I/Os vs naive {} — {speedup:.2}x",
+                r.optimized.total(),
+                r.naive.map(|n| n.total()).unwrap_or(0)
+            );
+            if speedup < 3.0 {
+                eprintln!("SORT HEADLINE REGRESSION: speedup {speedup:.2}x < 3x");
+                failed = true;
+            }
+        }
+        if let Some(r) = cresults.iter().find(|r| r.point == headline) {
+            println!(
+                "compact headline (N=2^18, B=64, M=2^13): {} I/Os vs naive {} — {:.2}x",
+                r.optimized.total(),
+                r.naive.map(|n| n.total()).unwrap_or(0),
+                r.speedup().unwrap_or(0.0)
+            );
         }
     }
     if failed {

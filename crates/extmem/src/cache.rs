@@ -19,10 +19,15 @@
 use crate::block::Block;
 use crate::element::Cell;
 use crate::mem::{ArrayHandle, ExtMem};
+use crate::store::BlockStore;
 
 /// A small write-back cache of blocks from a single array.
-pub struct BlockCache<'a> {
-    mem: &'a mut ExtMem,
+///
+/// Generic over the [`BlockStore`] backend, so the same scanning algorithms
+/// run over a plaintext [`ExtMem`] arena or an encrypting store; `S` defaults
+/// to [`ExtMem`], the common case.
+pub struct BlockCache<'a, S: BlockStore = ExtMem> {
+    mem: &'a mut S,
     handle: ArrayHandle,
     capacity: usize,
     /// (block index, block contents, dirty, last-use tick)
@@ -30,10 +35,10 @@ pub struct BlockCache<'a> {
     tick: u64,
 }
 
-impl<'a> BlockCache<'a> {
+impl<'a, S: BlockStore> BlockCache<'a, S> {
     /// Creates a cache over `handle` holding at most `capacity_blocks` blocks
     /// of private memory.
-    pub fn new(mem: &'a mut ExtMem, handle: ArrayHandle, capacity_blocks: usize) -> Self {
+    pub fn new(mem: &'a mut S, handle: ArrayHandle, capacity_blocks: usize) -> Self {
         assert!(capacity_blocks >= 1, "cache must hold at least one block");
         BlockCache {
             mem,
@@ -70,10 +75,10 @@ impl<'a> BlockCache<'a> {
                 .expect("cache is non-empty");
             let (bi, blk, dirty, _) = self.resident.swap_remove(victim);
             if dirty {
-                self.mem.write_block(&self.handle, bi, blk);
+                self.mem.store_block(&self.handle, bi, blk);
             }
         }
-        let blk = self.mem.read_block(&self.handle, block_idx);
+        let blk = self.mem.load_block(&self.handle, block_idx);
         self.resident.push((block_idx, blk, false, 0));
         let pos = self.resident.len() - 1;
         self.touch(pos);
@@ -102,7 +107,7 @@ impl<'a> BlockCache<'a> {
         let resident = std::mem::take(&mut self.resident);
         for (bi, blk, dirty, _) in resident {
             if dirty {
-                self.mem.write_block(&self.handle, bi, blk);
+                self.mem.store_block(&self.handle, bi, blk);
             }
         }
     }
@@ -113,7 +118,7 @@ impl<'a> BlockCache<'a> {
     }
 }
 
-impl Drop for BlockCache<'_> {
+impl<S: BlockStore> Drop for BlockCache<'_, S> {
     fn drop(&mut self) {
         self.flush();
     }

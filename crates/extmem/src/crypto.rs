@@ -28,6 +28,7 @@
 use crate::block::Block;
 use crate::element::{Cell, Element};
 use crate::mem::{ArrayHandle, ExtMem, IoStats};
+use crate::store::BlockStore;
 use crate::util::hash64;
 
 const PAYLOAD_MASK: u64 = (1 << 63) - 1;
@@ -187,6 +188,52 @@ impl EncryptedStore {
         let start = i * b;
         Block::from_cells(&cells[start..(start + b).min(cells.len())])
     }
+
+    /// Non-oblivious convenience used by tests and oracles: decrypts the
+    /// whole array into a flat vector of plaintext cells **without** charging
+    /// I/Os or touching the trace. Never use this inside an algorithm under
+    /// test.
+    pub fn snapshot_cells(&self, h: &ArrayHandle) -> Vec<Cell> {
+        let b = self.block_elems();
+        let mut out = Vec::with_capacity(h.len());
+        for i in 0..h.n_blocks() {
+            let addr = h.global_block(i);
+            let nonce = self.nonces.get(addr).copied().unwrap_or(u64::MAX);
+            let blk = if nonce == u64::MAX {
+                Block::empty(b)
+            } else {
+                self.decrypt_block(addr, nonce, &self.raw_ciphertext(h, i))
+            };
+            for j in 0..b {
+                if out.len() < h.len() {
+                    out.push(blk.get(j));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl BlockStore for EncryptedStore {
+    fn block_elems(&self) -> usize {
+        EncryptedStore::block_elems(self)
+    }
+
+    fn alloc_array(&mut self, len_elements: usize) -> ArrayHandle {
+        EncryptedStore::alloc_array(self, len_elements)
+    }
+
+    fn load_block(&mut self, h: &ArrayHandle, i: usize) -> Block {
+        self.read_block(h, i)
+    }
+
+    fn store_block(&mut self, h: &ArrayHandle, i: usize, blk: Block) {
+        self.write_block(h, i, &blk);
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.stats()
+    }
 }
 
 #[cfg(test)]
@@ -277,6 +324,19 @@ mod tests {
             out.extend(store.read_block(&h, i).occupied());
         }
         assert_eq!(out, (0..10).map(e).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn block_store_trait_roundtrips_through_encryption() {
+        let mut store = EncryptedStore::new(4, 0xFACE);
+        let h = BlockStore::alloc_array(&mut store, 10);
+        let cells: Vec<Cell> = (0..10).map(|i| Some(e(i))).collect();
+        store.store_span(&h, 0, &cells);
+        assert_eq!(store.load_span(&h, 0, 10), cells);
+        // The free snapshot decrypts to the same plaintext.
+        assert_eq!(store.snapshot_cells(&h), cells);
+        // ...and the underlying arena holds only ciphertext.
+        assert_ne!(store.raw_ciphertext(&h, 0).get(0), cells[0]);
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //!   (`B ≥ log(N/B)`) and *tall-cache* (`M ≥ B^{1+ε}`) assumption checks.
 //! * [`CacheBudget`] — a debug-level accounting helper used by algorithms to
 //!   assert that their private working set never exceeds `M` words.
+//! * [`BlockStore`] — the backend trait both [`ExtMem`] and
+//!   [`EncryptedStore`](crypto::EncryptedStore) implement, so algorithms
+//!   written against it (the external butterfly compaction in `odo-core`)
+//!   run unchanged, with identical traces and I/O counts, over plaintext or
+//!   re-encrypted storage.
 //! * [`EncryptedStore`](crypto::EncryptedStore) — a masking layer that models
 //!   semantically secure re-encryption of every block write (each write
 //!   produces a fresh ciphertext even for identical plaintexts).
@@ -47,6 +52,7 @@ pub mod config;
 pub mod crypto;
 pub mod element;
 pub mod mem;
+pub mod store;
 pub mod trace;
 pub mod util;
 
@@ -54,5 +60,7 @@ pub use block::Block;
 pub use budget::CacheBudget;
 pub use cache::BlockCache;
 pub use config::{Config, ConfigError};
+pub use crypto::EncryptedStore;
 pub use element::{Cell, Element};
 pub use mem::{AccessEvent, AccessOp, AccessTrace, ArrayHandle, ExtMem, IoStats};
+pub use store::BlockStore;

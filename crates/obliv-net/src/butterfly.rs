@@ -7,9 +7,12 @@
 //! `L_i` the cell routes along the `j − 2^i` wire exactly when bit `i` of its
 //! remaining distance is set, and the label is reduced accordingly
 //! (`d ← d − (d mod 2^{i+1})`). Lemma 5 of the paper shows that valid
-//! distance labels (those arising from an order-preserving compaction, or
-//! more generally any labels whose destinations `j − d_j` are strictly
-//! increasing over occupied cells) never collide at an internal cell.
+//! distance labels — those arising from an order-preserving compaction, or
+//! more generally any labels that are *non-decreasing* over occupied cells
+//! with strictly increasing destinations `j − d_j` — never collide at an
+//! internal cell. (Monotone destinations alone are **not** enough: cells
+//! `2, 3` with labels `2, 1` have destinations `0 < 2` yet collide on level
+//! `L_1`; the exhaustive Lemma 5 test exercises both sides.)
 //!
 //! This module provides the in-memory circuit form: routing with explicit
 //! labels, stable-compaction label computation, the reverse (expansion)
@@ -134,50 +137,69 @@ pub fn compact<T: Clone>(cells: &[Option<T>]) -> Vec<Option<T>> {
 }
 
 /// The reverse operation (the paper notes the network can be used "in
-/// reverse" to expand a compact array): item `i` of the compact prefix is
+/// reverse" to expand a compact array): the occupied cells of `cells` must
+/// form a prefix (as produced by [`compact`]), and item `i` of the prefix is
 /// moved right to position `targets[i]`, where `targets` is strictly
-/// increasing and `targets[i] ≥ i`.
+/// increasing with `targets[i] < cells.len()`.
+///
+/// Implemented as the compaction circuit run *backwards in time*: the levels
+/// execute from the largest stride down, and on level `L_i` an item hops
+/// from `j` to `j + 2^i` exactly when bit `i` of its remaining distance is
+/// set. The reversed run retraces the trajectories of the forward stable
+/// compaction that takes the expanded array back to the prefix, so by
+/// Lemma 5 it never collides. (Running the levels in the *forward* order
+/// does collide on legitimate target sets — e.g. a 6-item prefix of a
+/// 64-cell array expanding to `[3, 10, 11, 40, 41, 63]` collides on `L_1` —
+/// which is why the direction of time, not mirroring, is the correct way to
+/// reverse the network.)
 pub fn expand<T: Clone>(cells: &[Option<T>], targets: &[usize]) -> Vec<Option<T>> {
     let n = cells.len();
-    let occupied: Vec<&T> = cells.iter().filter_map(|c| c.as_ref()).collect();
-    assert_eq!(
-        occupied.len(),
-        targets.len(),
-        "one target per occupied item"
-    );
+    let r = targets.len();
     for w in targets.windows(2) {
         assert!(w[0] < w[1], "expansion targets must be strictly increasing");
     }
     if let Some(&last) = targets.last() {
         assert!(last < n, "expansion target out of range");
     }
-    // Expansion to the right is compaction to the left in the mirrored array:
-    // reverse, compute mirrored distance labels, route, and mirror back.
-    let mut mirrored: Vec<Option<T>> = vec![None; n];
-    let mut labels: Vec<Option<usize>> = vec![None; n];
-    for (i, item) in occupied.iter().enumerate() {
-        // Item i currently sits at the i-th occupied position of `cells`.
-        let src = cells
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.is_some())
-            .nth(i)
-            .map(|(j, _)| j)
-            .expect("occupied position exists");
-        let mirrored_src = n - 1 - src;
-        let mirrored_dst = n - 1 - targets[i];
-        assert!(
-            mirrored_dst <= mirrored_src,
-            "targets must not move items left"
-        );
-        mirrored[mirrored_src] = Some((*item).clone());
-        labels[mirrored_src] = Some(mirrored_src - mirrored_dst);
+    for (j, c) in cells.iter().enumerate() {
+        if j < r {
+            assert!(c.is_some(), "expand expects an occupied prefix");
+        } else {
+            assert!(c.is_none(), "expand expects dummies after the prefix");
+        }
     }
-    let routed =
-        route_with_labels(&mirrored, &labels).expect("valid expansion targets cannot collide");
-    let mut out: Vec<Option<T>> = routed;
-    out.reverse();
-    out
+    // Strictly increasing targets give targets[i] ≥ i, so every distance
+    // label targets[i] − i is well-defined, and the labels are non-decreasing
+    // in i — the time-reversed run is a valid stable compaction.
+    let mut cur: Vec<Option<(T, usize)>> = vec![None; n];
+    for i in 0..r {
+        let item = cells[i].clone().expect("prefix was validated above");
+        cur[i] = Some((item, targets[i] - i));
+    }
+    for i in (0..levels(n)).rev() {
+        let step = 1usize << i;
+        let mut next: Vec<Option<(T, usize)>> = vec![None; n];
+        for (j, slot) in cur.into_iter().enumerate() {
+            if let Some((item, d)) = slot {
+                let hop = d & step;
+                let dest = j + hop;
+                debug_assert!(
+                    next[dest].is_none(),
+                    "prefix expansion cannot collide (Lemma 5, time-reversed)"
+                );
+                next[dest] = Some((item, d - hop));
+            }
+        }
+        cur = next;
+    }
+    cur.into_iter()
+        .map(|slot| {
+            slot.map(|(item, d)| {
+                debug_assert_eq!(d, 0, "all distance must be consumed by level 0");
+                item
+            })
+        })
+        .collect()
 }
 
 /// Renders the level-by-level remaining-distance labels of a routing run in

@@ -9,9 +9,12 @@
 //! * [`obliv_net`] — the sorting and routing networks, headlined by
 //!   [`external_oblivious_sort`], the paper's Lemma 2 deterministic external
 //!   oblivious sort.
+//! * [`compact`] — the paper's §3 tight order-preserving compaction (and its
+//!   reverse, expansion) executed I/O-efficiently over any [`BlockStore`] in
+//!   `O((N/B)(1 + log(N/M)))` I/Os.
 //!
-//! The paper's compaction, selection and quantile algorithms land here in
-//! subsequent PRs, layered on the same two crates.
+//! The paper's selection and quantile algorithms land here in subsequent
+//! PRs, layered on the same crates.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,9 +22,12 @@
 pub use extmem;
 pub use obliv_net;
 
+pub mod compact;
+
+pub use compact::{compact_order_preserving, expand, CompactReport};
 pub use extmem::{
-    AccessEvent, AccessOp, AccessTrace, ArrayHandle, Block, BlockCache, CacheBudget, Cell, Config,
-    ConfigError, Element, ExtMem, IoStats,
+    AccessEvent, AccessOp, AccessTrace, ArrayHandle, Block, BlockCache, BlockStore, CacheBudget,
+    Cell, Config, ConfigError, Element, EncryptedStore, ExtMem, IoStats,
 };
 pub use obliv_net::{
     bitonic_sort_pow2, external_oblivious_sort, external_oblivious_sort_by, odd_even_merge_sort,
@@ -30,7 +36,8 @@ pub use obliv_net::{
 
 /// Everything a typical caller needs, importable with one `use`.
 pub mod prelude {
-    pub use extmem::{Cell, Config, Element, ExtMem, IoStats};
+    pub use crate::compact::{compact, compact_order_preserving, expand, CompactReport};
+    pub use extmem::{BlockStore, Cell, Config, Element, EncryptedStore, ExtMem, IoStats};
     pub use obliv_net::{external_oblivious_sort, SortOrder, SortReport};
 }
 
@@ -59,6 +66,28 @@ pub fn sort_outsourced(
     (mem.snapshot_elements(&h), report)
 }
 
+/// Compacts `cells` (occupied cells to the front, order preserved, dummies
+/// after) on an outsourced store configured by `cfg` and returns the routed
+/// array together with the exact I/O cost — the one-call form of the paper's
+/// §3 tight order-preserving compaction.
+///
+/// # Panics
+/// Panics if `cfg` fails basic validation, if `cells.len()` disagrees with
+/// `cfg.n_elements`, or on the [`compact::compact`] cache requirements
+/// (`M ≥ 8B`; power-of-two `B` when the array exceeds the cache).
+pub fn compact_outsourced(cfg: &Config, cells: &[Cell]) -> (Vec<Cell>, CompactReport) {
+    cfg.validate().expect("invalid (N, B, M) configuration");
+    assert_eq!(
+        cells.len(),
+        cfg.n_elements,
+        "cells.len() must equal the configured N"
+    );
+    let mut mem = ExtMem::new(cfg.block_elems);
+    let h = mem.alloc_array_from_cells(cells);
+    let report = compact::compact(&mut mem, &h, cfg.cache_elems);
+    (mem.snapshot_cells(&h), report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,5 +110,26 @@ mod tests {
     fn invalid_config_is_rejected() {
         let cfg = Config::new(10, 8, 8); // cache holds only one block
         sort_outsourced(&cfg, &[Element::new(1, 0)], SortOrder::Ascending);
+    }
+
+    #[test]
+    fn compact_outsourced_compacts_and_reports_io() {
+        let cfg = Config::new(300, 8, 64);
+        let cells: Vec<Cell> = (0..300)
+            .map(|i| {
+                if i % 4 == 0 {
+                    Some(Element::keyed(i as u64, i))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let (out, report) = compact_outsourced(&cfg, &cells);
+        let expected: Vec<Element> = cells.iter().flatten().copied().collect();
+        let prefix: Vec<Element> = out.iter().take(75).map(|c| c.unwrap()).collect();
+        assert_eq!(prefix, expected);
+        assert!(out[75..].iter().all(|c| c.is_none()));
+        assert_eq!(report.occupied, 75);
+        assert!(report.io.total() > 0);
     }
 }

@@ -4,8 +4,11 @@
 //! External-Memory Algorithms for the Compaction, Selection, and Sorting of
 //! Outsourced Data"*. The root crate is a thin façade: the machine model
 //! lives in `odo-extmem`, the sorting networks and the external oblivious
-//! sort in `odo-obliv-net`, naive baselines in `odo-baseline`, and the
-//! I/O-count benchmark harness in `odo-bench` (binary: `odo-bench`).
+//! sort in `odo-obliv-net`, the §3 external butterfly compaction (and its
+//! reverse, expansion) in `odo-core::compact`, naive baselines in
+//! `odo-baseline`, and the I/O-count benchmark harness in `odo-bench`
+//! (binary: `odo-bench`, emitting `BENCH_sort.json` and
+//! `BENCH_compact.json`).
 //!
 //! See `examples/quickstart.rs` for a five-line tour.
 
