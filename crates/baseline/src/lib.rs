@@ -20,6 +20,13 @@
 //!   block-pair pass — no composition of the small-stride levels inside the
 //!   private cache — so it costs `Θ((N/B) log N)` I/Os, versus
 //!   `odo-core::compact`'s `O((N/B)(1 + log(N/M)))`.
+//! * [`naive_select_kth`] — sort-then-index selection (paper §4's strawman):
+//!   full-depth bitonic sort of a working copy, then a streaming pass that
+//!   latches the `k`-th cell and one more that recovers the original element
+//!   — `Θ((N/B) log² N)` I/Os, versus `odo-core::select`'s iterated
+//!   prune-and-compact `O((N/B)(1 + log(N/M)))`. Same contract as the
+//!   optimized algorithm: rank by key, ties broken by original position,
+//!   trace independent of data and of `k`, input left unmodified.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -314,6 +321,96 @@ pub fn naive_external_butterfly_compact(
     }
 }
 
+/// What the naive selection did, alongside its I/O cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NaiveSelectReport {
+    /// I/Os charged to this selection.
+    pub io: IoStats,
+    /// Compare-exchange levels the underlying full-depth sort executed.
+    pub levels: usize,
+    /// Original array index of the selected element.
+    pub index: usize,
+}
+
+/// Naive sort-then-index selection: builds a working copy of
+/// `(key, original index)` items, sorts it with the full-depth external
+/// bitonic sort, and streams the result to latch the `k`-th cell — then
+/// streams the untouched input once more to recover the full element, so the
+/// winning position never shapes the trace. Data- and rank-oblivious like
+/// `odo-core::select`, just expensive: `Θ((N/B) log² N)` I/Os.
+///
+/// # Panics
+/// Panics if `k` is not smaller than the number of occupied cells, or if
+/// `cache_elems < 2·B`.
+pub fn naive_select_kth(
+    mem: &mut ExtMem,
+    h: &ArrayHandle,
+    cache_elems: usize,
+    k: usize,
+) -> (Element, NaiveSelectReport) {
+    use extmem::element::cell_cmp_none_last;
+    let start = mem.stats();
+    let b = h.block_elems();
+    let n = h.len();
+
+    // Working copy (key, original index): a strict total order under
+    // duplicate keys, matching the optimized algorithm's contract.
+    let wrk = mem.alloc_array(n);
+    let mut live = 0usize;
+    for beta in 0..h.n_blocks() {
+        let blk = mem.read_block(h, beta);
+        let mut out = Block::empty(b);
+        for t in 0..b {
+            let j = beta * b + t;
+            if j >= n {
+                break;
+            }
+            if let Some(e) = blk.get(t) {
+                out.set(t, Some(Element::new(e.key, j as u64)));
+                live += 1;
+            }
+        }
+        mem.write_block(&wrk, beta, out);
+    }
+    assert!(k < live, "rank k out of range: k={k} >= {live} occupied");
+
+    let sort = naive_external_bitonic_sort_by(mem, &wrk, cache_elems, &cell_cmp_none_last);
+
+    // Latch the k-th cell of the sorted copy in a register (never a
+    // rank-addressed read).
+    let mut winner: Cell = None;
+    for beta in 0..wrk.n_blocks() {
+        let blk = mem.read_block(&wrk, beta);
+        for t in 0..b {
+            if beta * b + t == k {
+                winner = blk.get(t);
+            }
+        }
+    }
+    let idx = winner
+        .expect("rank k is within the occupied prefix")
+        .payload as usize;
+
+    // Recover the full original element by streaming the untouched input.
+    let mut found: Cell = None;
+    for beta in 0..h.n_blocks() {
+        let blk = mem.read_block(h, beta);
+        for t in 0..b {
+            if beta * b + t == idx {
+                found = blk.get(t);
+            }
+        }
+    }
+    (
+        found.expect("the selected index holds an occupied cell"),
+        NaiveSelectReport {
+            io: mem.stats() - start,
+            levels: sort.levels,
+            index: idx,
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,6 +492,45 @@ mod tests {
                     cells.iter().filter(|c| c.is_some()).count()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn naive_select_matches_stable_sort_reference() {
+        for (n, b, m) in [(256usize, 8usize, 32usize), (500, 16, 64)] {
+            let input: Vec<Element> = (0..n)
+                .map(|i| Element::keyed(extmem::util::hash64(i as u64, 3) % 40, i * 2))
+                .collect();
+            let mut reference: Vec<(u64, usize)> =
+                input.iter().enumerate().map(|(j, e)| (e.key, j)).collect();
+            reference.sort_unstable();
+            for k in [0, n / 2, n - 1] {
+                let mut mem = ExtMem::new(b);
+                let h = mem.alloc_array_from_elements(&input);
+                let (got, report) = naive_select_kth(&mut mem, &h, m, k);
+                let (key, j) = reference[k];
+                assert_eq!(got, input[j], "N={n} k={k}");
+                assert_eq!(got.key, key);
+                assert_eq!(report.index, j);
+                assert!(report.io.total() > 0);
+                // Selection must not disturb the input.
+                assert_eq!(mem.snapshot_elements(&h), input);
+            }
+        }
+    }
+
+    #[test]
+    fn naive_select_trace_is_independent_of_k_and_data() {
+        let trace_of = |salt: u64, k: usize| {
+            let input = keyed_input(128, salt);
+            let mut mem = ExtMem::with_trace(8);
+            let h = mem.alloc_array_from_elements(&input);
+            naive_select_kth(&mut mem, &h, 32, k);
+            mem.take_trace().unwrap()
+        };
+        let reference = trace_of(1, 0);
+        for (salt, k) in [(1u64, 127usize), (2, 64), (9, 3)] {
+            assert_eq!(reference, trace_of(salt, k), "salt={salt} k={k}");
         }
     }
 

@@ -29,15 +29,25 @@
 //! emitted as `BENCH_compact.json`; each point also runs the identical
 //! algorithm over an [`extmem::EncryptedStore`] and asserts the
 //! re-encryption layer adds **zero** I/Os.
+//!
+//! For the §4 selection (`odo-core::select`) the bound checked is the same
+//! single-log form with `C_s =` [`SELECT_BOUND_CONSTANT`] — selection is
+//! iterated prune-and-compact, so it inherits compaction's advantage over
+//! sorting. Alongside the bound, each `BENCH_select.json` point runs the
+//! naive sort-then-index baseline and replays the identical selection over an
+//! [`extmem::EncryptedStore`], asserting not just equal I/O counts but a
+//! **byte-identical access trace** (and, separately, that the trace is
+//! independent of the requested rank `k`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use baseline::{naive_external_bitonic_sort, naive_external_butterfly_compact};
+use baseline::{naive_external_bitonic_sort, naive_external_butterfly_compact, naive_select_kth};
 use extmem::element::Cell;
 use extmem::{Element, EncryptedStore, ExtMem, IoStats};
 use obliv_net::external_sort::{external_oblivious_sort, SortOrder, SortReport};
 use odo_core::compact::{compact, CompactReport};
+use odo_core::select::{select_kth, SelectReport};
 use std::fmt::Write as _;
 
 /// The explicit constant `C` of the checked sort I/O bound.
@@ -45,6 +55,9 @@ pub const BOUND_CONSTANT: u64 = 4;
 
 /// The explicit constant `C_c` of the checked compaction I/O bound.
 pub const COMPACT_BOUND_CONSTANT: u64 = 32;
+
+/// The explicit constant `C_s` of the checked selection I/O bound.
+pub const SELECT_BOUND_CONSTANT: u64 = 64;
 
 /// One `(N, B, M)` parameter point of the benchmark grid.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -66,6 +79,9 @@ pub struct SortBenchResult {
     pub optimized: IoStats,
     /// Structural report of the optimized sort.
     pub report: SortReport,
+    /// I/Os of the identical sort over the re-encrypting store (always equal
+    /// to `optimized` — the encryption layer costs zero extra I/Os).
+    pub encrypted: IoStats,
     /// I/O statistics of the naive full-depth baseline, if it was run.
     pub naive: Option<IoStats>,
     /// Levels the naive baseline executed, if it was run.
@@ -85,17 +101,22 @@ impl SortBenchResult {
     }
 }
 
+/// `⌈log2(⌈N/M⌉)⌉`, the shared "external levels" factor of every bound
+/// checked by this harness (0 when the array fits in cache).
+fn ceil_log2_ratio(n: usize, m: usize) -> u64 {
+    let ratio = n.div_ceil(m);
+    if ratio <= 1 {
+        0
+    } else {
+        u64::from(usize::BITS - (ratio - 1).leading_zeros())
+    }
+}
+
 /// The Lemma 2 bound with the explicit constant [`BOUND_CONSTANT`]:
 /// `C · ⌈N/B⌉ · (1 + ⌈log2(⌈N/M⌉)⌉²)`.
 pub fn sort_io_bound(n: usize, b: usize, m: usize) -> u64 {
-    let n_blocks = n.div_ceil(b) as u64;
-    let ratio = n.div_ceil(m);
-    let lg = if ratio <= 1 {
-        0u64
-    } else {
-        u64::from(usize::BITS - (ratio - 1).leading_zeros())
-    };
-    BOUND_CONSTANT * n_blocks * (1 + lg * lg)
+    let lg = ceil_log2_ratio(n, m);
+    BOUND_CONSTANT * n.div_ceil(b) as u64 * (1 + lg * lg)
 }
 
 /// Deterministic pseudo-random input used by every benchmark run, so results
@@ -127,6 +148,27 @@ pub fn run_sort_point(point: GridPoint, run_naive: bool) -> SortBenchResult {
     );
     let optimized = report.io;
 
+    // The same sort over the re-encrypting store: every block is decrypted on
+    // read and re-encrypted (fresh nonce) on write, yet the I/O count is
+    // identical — the trait-generic sort closes the ROADMAP's
+    // sort-over-EncryptedStore item.
+    let mut enc = EncryptedStore::new(b, 0x50F7);
+    let ecells: Vec<Cell> = input.iter().copied().map(Some).collect();
+    let eh = enc.alloc_array_from_cells(&ecells);
+    let ereport = external_oblivious_sort(&mut enc, &eh, m, SortOrder::Ascending);
+    assert_eq!(
+        enc.snapshot_cells(&eh)
+            .into_iter()
+            .flatten()
+            .collect::<Vec<_>>(),
+        expected,
+        "encrypted sort failed at N={n} B={b} M={m}"
+    );
+    assert_eq!(
+        ereport.io, optimized,
+        "the encryption layer must add zero I/Os to the sort"
+    );
+
     let (naive, naive_levels) = if run_naive {
         let mut mem = ExtMem::new(b);
         let h = mem.alloc_array_from_elements(&input);
@@ -146,6 +188,7 @@ pub fn run_sort_point(point: GridPoint, run_naive: bool) -> SortBenchResult {
         point,
         optimized,
         report,
+        encrypted: ereport.io,
         naive,
         naive_levels,
         bound_total,
@@ -187,14 +230,7 @@ pub fn smoke_grid() -> Vec<GridPoint> {
 /// The compaction bound `C_c · ⌈N/B⌉ · (1 + ⌈log2(⌈N/M⌉)⌉)` — one log
 /// factor, not two.
 pub fn compact_io_bound(n: usize, b: usize, m: usize) -> u64 {
-    let n_blocks = n.div_ceil(b) as u64;
-    let ratio = n.div_ceil(m);
-    let lg = if ratio <= 1 {
-        0u64
-    } else {
-        u64::from(usize::BITS - (ratio - 1).leading_zeros())
-    };
-    COMPACT_BOUND_CONSTANT * n_blocks * (1 + lg)
+    COMPACT_BOUND_CONSTANT * n.div_ceil(b) as u64 * (1 + ceil_log2_ratio(n, m))
 }
 
 /// Deterministic pseudo-random occupancy (roughly half the cells occupied)
@@ -305,6 +341,200 @@ pub fn run_compact_point(point: GridPoint, run_naive: bool) -> CompactBenchResul
     }
 }
 
+/// The selection bound `C_s · ⌈N/B⌉ · (1 + ⌈log2(⌈N/M⌉)⌉)` — the single-log
+/// form selection inherits from prune-and-compact.
+pub fn select_io_bound(n: usize, b: usize, m: usize) -> u64 {
+    SELECT_BOUND_CONSTANT * n.div_ceil(b) as u64 * (1 + ceil_log2_ratio(n, m))
+}
+
+/// Measured result of one selection grid point.
+#[derive(Clone, Debug)]
+pub struct SelectBenchResult {
+    /// The parameters measured.
+    pub point: GridPoint,
+    /// The rank selected (the median, `k = N/2`).
+    pub k: usize,
+    /// I/O statistics of the optimized external selection.
+    pub optimized: IoStats,
+    /// Structural report of the optimized selection.
+    pub report: SelectReport,
+    /// I/Os of the identical run over the re-encrypting store (always equal
+    /// to `optimized` — the encryption layer costs zero extra I/Os, and
+    /// [`run_select_point`] asserts the traces are byte-identical too).
+    pub encrypted: IoStats,
+    /// I/O statistics of the naive sort-then-index baseline, if it was run.
+    pub naive: Option<IoStats>,
+    /// Levels the naive baseline's full-depth sort executed, if it was run.
+    pub naive_levels: Option<usize>,
+    /// The bound `C_s · ⌈N/B⌉ · (1 + ⌈log2(⌈N/M⌉)⌉)`.
+    pub bound_total: u64,
+    /// Whether the optimized selection satisfies the bound.
+    pub within_bound: bool,
+}
+
+impl SelectBenchResult {
+    /// Naive-over-optimized I/O ratio, if the naive baseline was run.
+    pub fn speedup(&self) -> Option<f64> {
+        self.naive
+            .map(|n| n.total() as f64 / self.optimized.total().max(1) as f64)
+    }
+}
+
+/// Measures one selection grid point at `k = N/2` (the median): the optimized
+/// selection on a plain arena with its trace captured, the identical run over
+/// an [`EncryptedStore`] (asserting an equal result, equal I/O counts **and a
+/// byte-identical access trace**), and optionally the naive sort-then-index
+/// baseline. Panics if any of them mis-selects — a benchmark of a wrong
+/// algorithm is meaningless.
+pub fn run_select_point(point: GridPoint, run_naive: bool) -> SelectBenchResult {
+    let GridPoint { n, b, m } = point;
+    let input = bench_input(n, 0x5E1);
+    let k = n / 2;
+    let mut reference: Vec<(u64, usize)> =
+        input.iter().enumerate().map(|(j, e)| (e.key, j)).collect();
+    reference.sort_unstable();
+    let expected = input[reference[k].1];
+
+    let mut mem = ExtMem::with_trace(b);
+    let h = mem.alloc_array_from_elements(&input);
+    let (got, report) = select_kth(&mut mem, &h, m, k);
+    let trace = mem.take_trace().expect("trace was enabled");
+    assert_eq!(
+        got, expected,
+        "optimized selection failed at N={n} B={b} M={m}"
+    );
+    let optimized = report.io;
+
+    // The same selection over the re-encrypting store: equal answer, equal
+    // I/O count, and the adversary's view — the address trace — is identical
+    // byte for byte.
+    let ecells: Vec<Cell> = input.iter().copied().map(Some).collect();
+    let mut enc = EncryptedStore::new(b, 0x5EC_5E1);
+    let eh = enc.alloc_array_from_cells(&ecells);
+    enc.enable_trace();
+    let (egot, ereport) = select_kth(&mut enc, &eh, m, k);
+    let etrace = enc.take_trace().expect("trace was enabled");
+    assert_eq!(
+        egot, expected,
+        "encrypted selection failed at N={n} B={b} M={m}"
+    );
+    assert_eq!(
+        ereport.io, optimized,
+        "the encryption layer must add zero I/Os to selection"
+    );
+    assert_eq!(
+        trace, etrace,
+        "plaintext and encrypted selection traces must be byte-identical at N={n} B={b} M={m}"
+    );
+
+    let (naive, naive_levels) = if run_naive {
+        let mut mem = ExtMem::new(b);
+        let h = mem.alloc_array_from_elements(&input);
+        let (ngot, nrep) = naive_select_kth(&mut mem, &h, m, k);
+        assert_eq!(
+            ngot, expected,
+            "naive selection failed at N={n} B={b} M={m}"
+        );
+        (Some(nrep.io), Some(nrep.levels))
+    } else {
+        (None, None)
+    };
+
+    let bound_total = select_io_bound(n, b, m);
+    SelectBenchResult {
+        point,
+        k,
+        optimized,
+        report,
+        encrypted: ereport.io,
+        naive,
+        naive_levels,
+        bound_total,
+        within_bound: optimized.total() <= bound_total,
+    }
+}
+
+/// Renders the selection results as the `BENCH_select.json` document
+/// (hand-rolled JSON; the workspace deliberately has no external
+/// dependencies).
+pub fn select_to_json(results: &[SelectBenchResult]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"benchmark\": \"external_oblivious_selection\",\n");
+    s.push_str("  \"io_model\": \"1 I/O per block read or write, ExtMem::stats\",\n");
+    s.push_str("  \"bound\": \"C * ceil(N/B) * (1 + ceil(log2(ceil(N/M))))\",\n");
+    let _ = writeln!(s, "  \"bound_constant\": {SELECT_BOUND_CONSTANT},");
+    s.push_str("  \"points\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let GridPoint { n, b, m } = r.point;
+        s.push_str("    {\n");
+        let _ = writeln!(s, "      \"n\": {n},");
+        let _ = writeln!(s, "      \"b\": {b},");
+        let _ = writeln!(s, "      \"m\": {m},");
+        let _ = writeln!(s, "      \"k\": {},", r.k);
+        let _ = writeln!(s, "      \"optimized_reads\": {},", r.optimized.reads);
+        let _ = writeln!(s, "      \"optimized_writes\": {},", r.optimized.writes);
+        let _ = writeln!(s, "      \"optimized_total\": {},", r.optimized.total());
+        let _ = writeln!(s, "      \"encrypted_total\": {},", r.encrypted.total());
+        // run_select_point asserts the byte-identical plaintext/encrypted
+        // trace before a result is ever constructed.
+        s.push_str("      \"encrypted_trace_identical\": true,\n");
+        let _ = writeln!(s, "      \"rounds\": {},", r.report.rounds);
+        let _ = writeln!(s, "      \"chunk_elems\": {},", r.report.chunk_elems);
+        let _ = writeln!(s, "      \"final_window\": {},", r.report.final_window);
+        let _ = writeln!(s, "      \"bound_total\": {},", r.bound_total);
+        match (r.naive, r.naive_levels, r.speedup()) {
+            (Some(naive), Some(levels), Some(speedup)) => {
+                let _ = writeln!(s, "      \"naive_total\": {},", naive.total());
+                let _ = writeln!(s, "      \"naive_levels\": {levels},");
+                let _ = writeln!(s, "      \"speedup_vs_naive\": {speedup:.2},");
+            }
+            _ => {
+                s.push_str("      \"naive_total\": null,\n");
+            }
+        }
+        let _ = writeln!(s, "      \"within_bound\": {}", r.within_bound);
+        s.push_str("    }");
+        s.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Renders a human-readable table of the selection results.
+pub fn select_to_table(results: &[SelectBenchResult]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:>8} {:>4} {:>6} {:>12} {:>12} {:>12} {:>8} {:>6}",
+        "N", "B", "M", "opt I/Os", "naive I/Os", "bound", "speedup", "ok"
+    );
+    for r in results {
+        let GridPoint { n, b, m } = r.point;
+        let naive = r
+            .naive
+            .map(|x| x.total().to_string())
+            .unwrap_or_else(|| "-".into());
+        let speedup = r
+            .speedup()
+            .map(|x| format!("{x:.2}x"))
+            .unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            s,
+            "{:>8} {:>4} {:>6} {:>12} {:>12} {:>12} {:>8} {:>6}",
+            n,
+            b,
+            m,
+            r.optimized.total(),
+            naive,
+            r.bound_total,
+            speedup,
+            if r.within_bound { "yes" } else { "NO" }
+        );
+    }
+    s
+}
+
 /// Renders the results as the `BENCH_sort.json` document (hand-rolled JSON;
 /// the workspace deliberately has no external dependencies).
 pub fn to_json(results: &[SortBenchResult]) -> String {
@@ -324,6 +554,7 @@ pub fn to_json(results: &[SortBenchResult]) -> String {
         let _ = writeln!(s, "      \"optimized_reads\": {},", r.optimized.reads);
         let _ = writeln!(s, "      \"optimized_writes\": {},", r.optimized.writes);
         let _ = writeln!(s, "      \"optimized_total\": {},", r.optimized.total());
+        let _ = writeln!(s, "      \"encrypted_total\": {},", r.encrypted.total());
         let _ = writeln!(s, "      \"region_elems\": {},", r.report.region_elems);
         let _ = writeln!(
             s,
@@ -524,6 +755,7 @@ mod tests {
         let json = to_json(&results);
         assert_eq!(json.matches("\"optimized_total\"").count(), 2);
         assert!(json.contains("\"bound_constant\": 4"));
+        assert!(json.contains("\"encrypted_total\""));
         assert!(json.contains("\"speedup_vs_naive\""));
         assert!(json.contains("\"within_bound\": true"));
     }
@@ -576,8 +808,9 @@ mod tests {
     }
 
     /// The I/O-bound regression gate: if a future refactor pushes the sort
-    /// past `C·(N/B)(1 + log²(N/M))` or the compaction past
-    /// `C_c·(N/B)(1 + log(N/M))` at any benchmark grid point, this test
+    /// past `C·(N/B)(1 + log²(N/M))`, the compaction past
+    /// `C_c·(N/B)(1 + log(N/M))`, or the selection past
+    /// `C_s·(N/B)(1 + log(N/M))` at any benchmark grid point, this test
     /// fails — without needing the release-mode bench binary. (The naive
     /// baselines are skipped here, and the `N = 2^18` points are left to the
     /// release-mode bench binary, which gates them on every CI push — debug
@@ -596,6 +829,11 @@ mod tests {
                 s.optimized.total(),
                 s.bound_total
             );
+            assert_eq!(
+                s.encrypted, s.optimized,
+                "re-encryption added I/Os to the sort at N={} B={} M={}",
+                point.n, point.b, point.m
+            );
             let c = run_compact_point(point, false);
             assert!(
                 c.within_bound,
@@ -611,7 +849,65 @@ mod tests {
                 "re-encryption added I/Os at N={} B={} M={}",
                 point.n, point.b, point.m
             );
+            let sel = run_select_point(point, false);
+            assert!(
+                sel.within_bound,
+                "selection exceeded its I/O bound at N={} B={} M={}: {} > {}",
+                point.n,
+                point.b,
+                point.m,
+                sel.optimized.total(),
+                sel.bound_total
+            );
+            // run_select_point itself asserts the byte-identical
+            // plaintext/encrypted trace; re-check the I/O equality here for a
+            // readable failure.
+            assert_eq!(
+                sel.encrypted, sel.optimized,
+                "re-encryption added I/Os to selection at N={} B={} M={}",
+                point.n, point.b, point.m
+            );
         }
+    }
+
+    #[test]
+    fn select_small_point_is_within_bound_and_beats_naive() {
+        let point = GridPoint {
+            n: 1 << 12,
+            b: 16,
+            m: 1 << 8,
+        };
+        let r = run_select_point(point, true);
+        assert!(r.within_bound, "selection exceeded the bound: {r:?}");
+        let speedup = r.speedup().unwrap();
+        assert!(speedup > 1.0, "naive baseline not beaten: {speedup:.2}x");
+        assert_eq!(r.encrypted, r.optimized);
+        assert!(r.report.rounds >= 1, "the external path must iterate");
+    }
+
+    #[test]
+    fn select_json_has_all_points_and_fields() {
+        let results: Vec<SelectBenchResult> = [
+            GridPoint {
+                n: 512,
+                b: 8,
+                m: 64,
+            },
+            GridPoint {
+                n: 1024,
+                b: 8,
+                m: 64,
+            },
+        ]
+        .into_iter()
+        .map(|p| run_select_point(p, true))
+        .collect();
+        let json = select_to_json(&results);
+        assert_eq!(json.matches("\"optimized_total\"").count(), 2);
+        assert!(json.contains("\"bound_constant\": 64"));
+        assert!(json.contains("\"encrypted_trace_identical\": true"));
+        assert!(json.contains("\"speedup_vs_naive\""));
+        assert!(json.contains("\"within_bound\": true"));
     }
 
     #[test]

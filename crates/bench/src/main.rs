@@ -1,67 +1,111 @@
-//! `odo-bench` binary: runs the sort and compaction benchmark grids and
-//! writes `BENCH_sort.json` / `BENCH_compact.json` into the current
-//! directory.
+//! `odo-bench` binary: runs the sort, compaction and selection benchmark
+//! grids and writes `BENCH_sort.json` / `BENCH_compact.json` /
+//! `BENCH_select.json` into the current directory.
 //!
 //! Usage:
 //!
-//! * `cargo run --release -p odo-bench` — the full default grid (from the
-//!   repo root, so the JSON lands next to `Cargo.toml`).
+//! * `cargo run --release -p odo-bench` — every benchmark on the full
+//!   default grid (from the repo root, so the JSON lands next to
+//!   `Cargo.toml`).
+//! * `cargo run --release -p odo-bench -- select` — one benchmark only
+//!   (`sort`, `compact`, `select`, or `all`).
 //! * `cargo run --release -p odo-bench -- --smoke` — the `N = 2^12` smoke
 //!   grid: same emitters, same bound gates, cheap enough for every CI push
-//!   (JSON goes to `BENCH_sort.smoke.json` / `BENCH_compact.smoke.json` so a
-//!   smoke run never clobbers the full-grid numbers).
+//!   (JSON goes to `BENCH_*.smoke.json` so a smoke run never clobbers the
+//!   full-grid numbers).
 
 use odo_bench::{
-    compact_to_json, compact_to_table, default_grid, run_compact_point, run_sort_point, smoke_grid,
-    to_json, to_table, GridPoint,
+    compact_to_json, compact_to_table, default_grid, run_compact_point, run_select_point,
+    run_sort_point, select_to_json, select_to_table, smoke_grid, to_json, to_table, GridPoint,
 };
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+    assert!(
+        matches!(which, "all" | "sort" | "compact" | "select"),
+        "unknown benchmark {which:?}: expected sort, compact, select, or all"
+    );
+    let run = |name: &str| which == "all" || which == name;
     let grid = if smoke { smoke_grid() } else { default_grid() };
+    let headline = GridPoint {
+        n: 1 << 18,
+        b: 64,
+        m: 1 << 13,
+    };
+    let mut failed = false;
 
     // --- external oblivious sort ---
-    let mut results = Vec::with_capacity(grid.len());
-    for &point in &grid {
-        eprintln!(
-            "sort: measuring N={} B={} M={} (optimized + naive)...",
-            point.n, point.b, point.m
-        );
-        results.push(run_sort_point(point, true));
+    let mut results = Vec::new();
+    if run("sort") {
+        for &point in &grid {
+            eprintln!(
+                "sort: measuring N={} B={} M={} (optimized + encrypted + naive)...",
+                point.n, point.b, point.m
+            );
+            results.push(run_sort_point(point, true));
+        }
+        print!("{}", to_table(&results));
+        let json = to_json(&results);
+        let path = if smoke {
+            "BENCH_sort.smoke.json"
+        } else {
+            "BENCH_sort.json"
+        };
+        std::fs::write(path, &json).expect("failed to write the sort benchmark JSON");
+        println!("wrote {path}");
     }
-    print!("{}", to_table(&results));
-    let json = to_json(&results);
-    let path = if smoke {
-        "BENCH_sort.smoke.json"
-    } else {
-        "BENCH_sort.json"
-    };
-    std::fs::write(path, &json).expect("failed to write the sort benchmark JSON");
-    println!("wrote {path}");
 
     // --- external butterfly compaction ---
-    let mut cresults = Vec::with_capacity(grid.len());
-    for &point in &grid {
-        eprintln!(
-            "compact: measuring N={} B={} M={} (optimized + encrypted + naive)...",
-            point.n, point.b, point.m
-        );
-        cresults.push(run_compact_point(point, true));
+    let mut cresults = Vec::new();
+    if run("compact") {
+        for &point in &grid {
+            eprintln!(
+                "compact: measuring N={} B={} M={} (optimized + encrypted + naive)...",
+                point.n, point.b, point.m
+            );
+            cresults.push(run_compact_point(point, true));
+        }
+        print!("{}", compact_to_table(&cresults));
+        let cjson = compact_to_json(&cresults);
+        let cpath = if smoke {
+            "BENCH_compact.smoke.json"
+        } else {
+            "BENCH_compact.json"
+        };
+        std::fs::write(cpath, &cjson).expect("failed to write the compaction benchmark JSON");
+        println!("wrote {cpath}");
     }
-    print!("{}", compact_to_table(&cresults));
-    let cjson = compact_to_json(&cresults);
-    let cpath = if smoke {
-        "BENCH_compact.smoke.json"
-    } else {
-        "BENCH_compact.json"
-    };
-    std::fs::write(cpath, &cjson).expect("failed to write the compaction benchmark JSON");
-    println!("wrote {cpath}");
+
+    // --- §4 oblivious selection ---
+    let mut sresults = Vec::new();
+    if run("select") {
+        for &point in &grid {
+            eprintln!(
+                "select: measuring N={} B={} M={} k=N/2 (optimized + encrypted-trace parity + naive)...",
+                point.n, point.b, point.m
+            );
+            sresults.push(run_select_point(point, true));
+        }
+        print!("{}", select_to_table(&sresults));
+        let sjson = select_to_json(&sresults);
+        let spath = if smoke {
+            "BENCH_select.smoke.json"
+        } else {
+            "BENCH_select.json"
+        };
+        std::fs::write(spath, &sjson).expect("failed to write the selection benchmark JSON");
+        println!("wrote {spath}");
+    }
 
     // Enforce the acceptance gates so CI fails loudly on regressions: every
-    // point within its bound, compaction beating the naive baseline at every
-    // point, and (full grid only) the headline sort speedup.
-    let mut failed = false;
+    // point within its bound, compaction and selection beating their naive
+    // baselines at every point, and (full grid only) the headline speedups.
     for r in &results {
         if !r.within_bound {
             eprintln!(
@@ -99,12 +143,31 @@ fn main() {
             failed = true;
         }
     }
+    for r in &sresults {
+        if !r.within_bound {
+            eprintln!(
+                "SELECT BOUND VIOLATION at N={} B={} M={}: {} > {}",
+                r.point.n,
+                r.point.b,
+                r.point.m,
+                r.optimized.total(),
+                r.bound_total
+            );
+            failed = true;
+        }
+        if r.speedup().is_some_and(|s| s <= 1.0) {
+            eprintln!(
+                "SELECT REGRESSION at N={} B={} M={}: naive sort-then-index is not beaten ({:?} vs {})",
+                r.point.n,
+                r.point.b,
+                r.point.m,
+                r.naive.map(|n| n.total()),
+                r.optimized.total()
+            );
+            failed = true;
+        }
+    }
     if !smoke {
-        let headline = GridPoint {
-            n: 1 << 18,
-            b: 64,
-            m: 1 << 13,
-        };
         if let Some(r) = results.iter().find(|r| r.point == headline) {
             let speedup = r.speedup().unwrap_or(0.0);
             println!(
@@ -124,6 +187,18 @@ fn main() {
                 r.naive.map(|n| n.total()).unwrap_or(0),
                 r.speedup().unwrap_or(0.0)
             );
+        }
+        if let Some(r) = sresults.iter().find(|r| r.point == headline) {
+            let speedup = r.speedup().unwrap_or(0.0);
+            println!(
+                "select headline (N=2^18, B=64, M=2^13, k=N/2): {} I/Os vs naive {} — {speedup:.2}x",
+                r.optimized.total(),
+                r.naive.map(|n| n.total()).unwrap_or(0)
+            );
+            if speedup < 2.0 {
+                eprintln!("SELECT HEADLINE REGRESSION: speedup {speedup:.2}x < 2x");
+                failed = true;
+            }
         }
     }
     if failed {

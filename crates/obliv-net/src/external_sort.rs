@@ -3,7 +3,10 @@
 //!
 //! # Algorithm
 //!
-//! The sorter is a block-strided bitonic sort over an [`ExtMem`] array. The
+//! The sorter is a block-strided bitonic sort over an array held by any
+//! [`BlockStore`] backend — the plaintext [`extmem::ExtMem`] arena or the
+//! re-encrypting [`extmem::EncryptedStore`], with identical traces and I/O
+//! counts either way. The
 //! classic bitonic network on `p = 2^ℓ` wires runs stages of sequence length
 //! `k = 2, 4, …, p`; stage `k` executes compare-exchange levels of stride
 //! `s = k/2, k/4, …, 1`, where level `(k, s)` pairs `i` with `i ⊕ s` and
@@ -26,7 +29,7 @@
 //!    (`B | s`) touches each block in exactly one block pair `(β, β + s/B)`.
 //!    All `B` element compare-exchanges that touch that pair are fused into
 //!    a single read-modify-write round trip via
-//!    [`ExtMem::modify_block_pair`]: 2 reads + 2 writes per pair, i.e.
+//!    [`BlockStore::modify_pair`]: 2 reads + 2 writes per pair, i.e.
 //!    `2·(N/B)` I/Os for the whole level — never one round trip per element.
 //!    Non-aligned strides (only possible when `B` is not a power of two)
 //!    fall back to an LRU [`BlockCache`] sweep with the same `2·(N/B)`
@@ -58,7 +61,7 @@
 use crate::bitonic::{bitonic_merge_pow2_by, bitonic_sort_pow2_by};
 use crate::compare::exchange_dir_by;
 use extmem::element::{cell_cmp_none_last, cell_cmp_none_last_desc, Cell};
-use extmem::{ArrayHandle, BlockCache, CacheBudget, ExtMem, IoStats};
+use extmem::{ArrayHandle, BlockCache, BlockStore, CacheBudget, IoStats};
 use std::cmp::Ordering;
 
 /// Direction of an [`external_oblivious_sort`].
@@ -91,20 +94,25 @@ pub struct SortReport {
 /// Sorts array `h` by key in the given order, dummies last, using at most
 /// `cache_elems` words of private memory. Returns the [`SortReport`].
 ///
+/// Generic over the [`BlockStore`] backend: the identical algorithm —
+/// identical address trace, identical I/O count — runs over a plaintext
+/// [`extmem::ExtMem`] arena or an [`extmem::EncryptedStore`] (the `odo-bench`
+/// harness asserts the zero-extra-I/O property at every grid point).
+///
 /// # Panics
 /// Panics if `cache_elems < 2·B` (the paper's minimal `M ≥ 2B` regime).
-pub fn external_oblivious_sort(
-    mem: &mut ExtMem,
+pub fn external_oblivious_sort<S: BlockStore>(
+    store: &mut S,
     h: &ArrayHandle,
     cache_elems: usize,
     order: SortOrder,
 ) -> SortReport {
     match order {
         SortOrder::Ascending => {
-            external_oblivious_sort_by(mem, h, cache_elems, &cell_cmp_none_last)
+            external_oblivious_sort_by(store, h, cache_elems, &cell_cmp_none_last)
         }
         SortOrder::Descending => {
-            external_oblivious_sort_by(mem, h, cache_elems, &cell_cmp_none_last_desc)
+            external_oblivious_sort_by(store, h, cache_elems, &cell_cmp_none_last_desc)
         }
     }
 }
@@ -115,13 +123,14 @@ pub fn external_oblivious_sort(
 /// whose extra slots are dummies; `cmp` must therefore order every dummy
 /// (`None`) cell after every occupied cell, or elements may be truncated on
 /// copy-back. Power-of-two lengths accept any total order.
-pub fn external_oblivious_sort_by<F>(
-    mem: &mut ExtMem,
+pub fn external_oblivious_sort_by<S, F>(
+    store: &mut S,
     h: &ArrayHandle,
     cache_elems: usize,
     cmp: &F,
 ) -> SortReport
 where
+    S: BlockStore,
     F: Fn(&Cell, &Cell) -> Ordering,
 {
     let b = h.block_elems();
@@ -129,11 +138,11 @@ where
         cache_elems >= 2 * b,
         "external sort needs a private cache of at least two blocks (M >= 2B)"
     );
-    let start = mem.stats();
+    let start = store.io_stats();
     let n = h.len();
     if n <= 1 {
         return SortReport {
-            io: mem.stats() - start,
+            io: store.io_stats() - start,
             region_elems: n.max(1),
             presort_regions: 0,
             external_levels: 0,
@@ -143,31 +152,32 @@ where
     }
     let p = n.next_power_of_two();
     let mut report = if p == n {
-        sort_pow2(mem, h, cache_elems, cmp)
+        sort_pow2(store, h, cache_elems, cmp)
     } else {
         // Pad into a fresh power-of-two scratch array (its tail slots are
         // dummies), sort, and stream the first ⌈n/B⌉ blocks back. The extra
         // cost is O(N/B) and the whole detour is shape-determined.
-        let scratch = mem.alloc_array(p);
+        let scratch = store.alloc_array(p);
         for i in 0..h.n_blocks() {
-            let blk = mem.read_block(h, i);
-            mem.write_block(&scratch, i, blk);
+            let blk = store.load_block(h, i);
+            store.store_block(&scratch, i, blk);
         }
-        let mut r = sort_pow2(mem, &scratch, cache_elems, cmp);
+        let mut r = sort_pow2(store, &scratch, cache_elems, cmp);
         for i in 0..h.n_blocks() {
-            let blk = mem.read_block(&scratch, i);
-            mem.write_block(h, i, blk);
+            let blk = store.load_block(&scratch, i);
+            store.store_block(h, i, blk);
         }
         r.padded = true;
         r
     };
-    report.io = mem.stats() - start;
+    report.io = store.io_stats() - start;
     report
 }
 
 /// Core sorter for an array of exactly `p` (a power of two ≥ 2) slots.
-fn sort_pow2<F>(mem: &mut ExtMem, a: &ArrayHandle, cache_elems: usize, cmp: &F) -> SortReport
+fn sort_pow2<S, F>(store: &mut S, a: &ArrayHandle, cache_elems: usize, cmp: &F) -> SortReport
 where
+    S: BlockStore,
     F: Fn(&Cell, &Cell) -> Ordering,
 {
     let b = a.block_elems();
@@ -188,7 +198,7 @@ where
     // sequences (region g ascending iff g is even; with a single region this
     // is the final ascending sort).
     for g in 0..p / f0 {
-        in_cache_pass(mem, a, &mut budget, g * f0, f0, |cells| {
+        in_cache_pass(store, a, &mut budget, g * f0, f0, |cells| {
             bitonic_sort_pow2_by(cells, g % 2 == 0, cmp);
         });
     }
@@ -200,14 +210,14 @@ where
     while k <= p {
         let mut s = k / 2;
         while s >= f0 {
-            external_level(mem, a, &mut budget, cache_elems, s, k, cmp);
+            external_level(store, a, &mut budget, cache_elems, s, k, cmp);
             report.external_levels += 1;
             s /= 2;
         }
         for g in 0..p / f0 {
             let lo = g * f0;
             let asc = lo & k == 0;
-            in_cache_pass(mem, a, &mut budget, lo, f0, |cells| {
+            in_cache_pass(store, a, &mut budget, lo, f0, |cells| {
                 bitonic_merge_pow2_by(cells, asc, cmp);
             });
         }
@@ -218,8 +228,8 @@ where
 }
 
 /// One external compare-exchange level: stride `s`, stage `k`.
-fn external_level<F>(
-    mem: &mut ExtMem,
+fn external_level<S, F>(
+    store: &mut S,
     a: &ArrayHandle,
     budget: &mut CacheBudget,
     cache_elems: usize,
@@ -227,6 +237,7 @@ fn external_level<F>(
     k: usize,
     cmp: &F,
 ) where
+    S: BlockStore,
     F: Fn(&Cell, &Cell) -> Ordering,
 {
     let b = a.block_elems();
@@ -243,7 +254,7 @@ fn external_level<F>(
                 let partner = beta + s / b;
                 let asc = base & k == 0;
                 budget.with(2 * b, |_| {
-                    mem.modify_block_pair(a, beta, partner, |x, y| {
+                    store.modify_pair(a, beta, partner, |x, y| {
                         for j in 0..b {
                             let (lo, hi) = exchange_dir_by(x.get(j), y.get(j), asc, cmp);
                             x.set(j, lo);
@@ -260,7 +271,7 @@ fn external_level<F>(
         // shape alone.
         let m_blocks = (cache_elems / b).max(2);
         budget.with(m_blocks * b, |_| {
-            let mut cache = BlockCache::new(mem, *a, m_blocks);
+            let mut cache = BlockCache::new(store, *a, m_blocks);
             for i in 0..p {
                 if i & s == 0 {
                     let l = i | s;
@@ -277,8 +288,8 @@ fn external_level<F>(
 
 /// Loads the aligned region `[lo, lo + f)` into the private cache, applies
 /// `work` CPU-side (free in the I/O model), and stores the region back.
-fn in_cache_pass(
-    mem: &mut ExtMem,
+fn in_cache_pass<S: BlockStore>(
+    store: &mut S,
     a: &ArrayHandle,
     budget: &mut CacheBudget,
     lo: usize,
@@ -287,9 +298,9 @@ fn in_cache_pass(
 ) {
     let b = a.block_elems();
     budget.with(span_blocks(f, b) * b, |_| {
-        let mut cells = mem.read_span(a, lo, lo + f);
+        let mut cells = store.load_span(a, lo, lo + f);
         work(&mut cells);
-        mem.write_span(a, lo, &cells);
+        store.store_span(a, lo, &cells);
     });
 }
 
@@ -320,7 +331,7 @@ fn span_blocks(f: usize, b: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use extmem::Element;
+    use extmem::{Element, ExtMem};
 
     fn e(k: u64) -> Element {
         Element::new(k, 0)

@@ -3,7 +3,7 @@
 
 use extmem::element::Cell;
 use extmem::trace::{assert_oblivious, TraceSummary};
-use extmem::{AccessTrace, Element, ExtMem};
+use extmem::{AccessTrace, Element, EncryptedStore, ExtMem};
 use obliv_net::external_sort::{external_oblivious_sort, SortOrder};
 
 fn trace_of(cells: &[Cell], b: usize, m: usize, order: SortOrder) -> AccessTrace {
@@ -82,6 +82,30 @@ fn descending_and_ascending_share_the_access_pattern() {
     let a = trace_of(&input, 8, 64, SortOrder::Ascending);
     let d = trace_of(&input, 8, 64, SortOrder::Descending);
     assert_oblivious(&a, &d, "ascending vs descending");
+}
+
+#[test]
+fn encrypted_store_shares_the_exact_sort_trace() {
+    // The trait-generic sort over the re-encrypting store: the adversary's
+    // view (addresses AND I/O count) is identical to the plaintext run, and
+    // the output still comes back sorted after the decrypt round trips.
+    for (n, b, m) in [(512usize, 8usize, 64usize), (300, 16, 128)] {
+        let cells = pseudo_random(n, 0xE7C);
+        let plain = trace_of(&cells, b, m, SortOrder::Ascending);
+
+        let mut enc = EncryptedStore::new(b, 0x50F7);
+        let h = enc.alloc_array_from_cells(&cells);
+        enc.enable_trace();
+        let report = external_oblivious_sort(&mut enc, &h, m, SortOrder::Ascending);
+        let etrace = enc.take_trace().expect("trace was enabled");
+        assert_oblivious(&plain, &etrace, "plaintext vs encrypted sort");
+        assert_eq!(etrace.len() as u64, report.io.total());
+
+        let got: Vec<Element> = enc.snapshot_cells(&h).into_iter().flatten().collect();
+        let mut expected: Vec<Element> = cells.iter().flatten().copied().collect();
+        expected.sort_unstable();
+        assert_eq!(got, expected, "N={n} B={b} M={m}");
+    }
 }
 
 #[test]

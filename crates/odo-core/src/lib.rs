@@ -12,9 +12,14 @@
 //! * [`compact`] — the paper's §3 tight order-preserving compaction (and its
 //!   reverse, expansion) executed I/O-efficiently over any [`BlockStore`] in
 //!   `O((N/B)(1 + log(N/M)))` I/Os.
+//! * [`select`] — the paper's §4 data-oblivious selection and quantiles:
+//!   [`select::select_kth`] prunes candidates with weighted splitters and §3
+//!   compaction, then finishes with the external sort, in
+//!   `O((N/B)(1 + log(N/M)))` I/Os whose trace hides the data *and* the rank.
 //!
-//! The paper's selection and quantile algorithms land here in subsequent
-//! PRs, layered on the same crates.
+//! With selection landed, the three headline primitives of the paper's title
+//! — compaction, selection, and sorting — all run end to end over plaintext
+//! and re-encrypting outsourced stores.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +28,7 @@ pub use extmem;
 pub use obliv_net;
 
 pub mod compact;
+pub mod select;
 
 pub use compact::{compact_order_preserving, expand, CompactReport};
 pub use extmem::{
@@ -33,10 +39,12 @@ pub use obliv_net::{
     bitonic_sort_pow2, external_oblivious_sort, external_oblivious_sort_by, odd_even_merge_sort,
     randomized_shellsort, Comparator, Network, SortOrder, SortReport,
 };
+pub use select::{quantiles, select_kth, SelectReport, SAMPLES_PER_CHUNK};
 
 /// Everything a typical caller needs, importable with one `use`.
 pub mod prelude {
     pub use crate::compact::{compact, compact_order_preserving, expand, CompactReport};
+    pub use crate::select::{quantiles, select_kth, SelectReport};
     pub use extmem::{BlockStore, Cell, Config, Element, EncryptedStore, ExtMem, IoStats};
     pub use obliv_net::{external_oblivious_sort, SortOrder, SortReport};
 }
@@ -88,6 +96,29 @@ pub fn compact_outsourced(cfg: &Config, cells: &[Cell]) -> (Vec<Cell>, CompactRe
     (mem.snapshot_cells(&h), report)
 }
 
+/// Selects the `k`-th smallest of `items` (0-based rank by key, ties broken
+/// by original position) on an outsourced store configured by `cfg`, and
+/// returns the element together with the exact I/O cost — the one-call form
+/// of the paper's §4 selection result. The server-visible trace depends only
+/// on the shape `(N, B, M)`, never on the data or on `k`.
+///
+/// # Panics
+/// Panics if `cfg` fails basic validation, if `items.len()` disagrees with
+/// `cfg.n_elements`, if `k ≥ items.len()`, or on the [`select::select_kth`]
+/// external-path cache requirements (`M ≥ max(8B, 32)`; power-of-two `B` when
+/// the array exceeds the cache).
+pub fn select_outsourced(cfg: &Config, items: &[Element], k: usize) -> (Element, SelectReport) {
+    cfg.validate().expect("invalid (N, B, M) configuration");
+    assert_eq!(
+        items.len(),
+        cfg.n_elements,
+        "items.len() must equal the configured N"
+    );
+    let mut mem = ExtMem::new(cfg.block_elems);
+    let h = mem.alloc_array_from_elements(items);
+    select_kth(&mut mem, &h, cfg.cache_elems, k)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,5 +162,40 @@ mod tests {
         assert!(out[75..].iter().all(|c| c.is_none()));
         assert_eq!(report.occupied, 75);
         assert!(report.io.total() > 0);
+    }
+
+    #[test]
+    fn select_outsourced_selects_and_reports_io() {
+        // Duplicate-heavy keys so the façade exercises the tie-breaking
+        // contract: rank k, ties by original position.
+        let cfg = Config::new(600, 8, 64);
+        let items: Vec<Element> = (0..600)
+            .map(|i| Element::keyed((i as u64 * 7) % 50, i))
+            .collect();
+        let mut expected: Vec<(u64, usize)> =
+            items.iter().map(|e| (e.key, e.payload as usize)).collect();
+        expected.sort_unstable();
+        for k in [0usize, 1, 300, 599] {
+            let (got, report) = select_outsourced(&cfg, &items, k);
+            assert_eq!((got.key, got.payload as usize), expected[k], "k={k}");
+            assert_eq!(report.rank, k);
+            assert!(report.io.total() > 0);
+            assert!(!report.in_cache, "600 > 64 takes the external path");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rank k out of range")]
+    fn select_outsourced_rejects_overlarge_rank() {
+        let cfg = Config::new(100, 8, 512);
+        let items: Vec<Element> = (0..100).map(|i| Element::keyed(i as u64, i)).collect();
+        select_outsourced(&cfg, &items, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn select_outsourced_rejects_invalid_config() {
+        let cfg = Config::new(10, 8, 8);
+        select_outsourced(&cfg, &[Element::new(1, 0); 10], 0);
     }
 }

@@ -1,0 +1,200 @@
+//! Property tests pinning `select_kth` (and `quantiles`) against a
+//! sorted-reference oracle across the edge cases selection is notorious for:
+//! heavy duplication, extreme ranks, dummy-riddled arrays, non-power-of-two
+//! lengths and the pure in-cache regime.
+
+use odo_core::extmem::element::Cell;
+use odo_core::extmem::{Element, EncryptedStore, ExtMem};
+use odo_core::select::{quantiles, select_kth};
+
+/// The contract's reference: position `k` of the occupied cells stably
+/// sorted by key — i.e. rank by key, ties broken by original position.
+fn oracle(cells: &[Cell], k: usize) -> Element {
+    let mut live: Vec<(usize, Element)> = cells
+        .iter()
+        .enumerate()
+        .filter_map(|(j, c)| c.map(|e| (j, e)))
+        .collect();
+    live.sort_by_key(|&(j, e)| (e.key, j));
+    live[k].1
+}
+
+fn check(cells: &[Cell], b: usize, m: usize, k: usize, label: &str) {
+    let mut mem = ExtMem::new(b);
+    let h = mem.alloc_array_from_cells(cells);
+    let (got, report) = select_kth(&mut mem, &h, m, k);
+    assert_eq!(got, oracle(cells, k), "{label}: wrong element");
+    assert_eq!(report.rank, k, "{label}: report rank");
+    assert_eq!(
+        cells[report.index],
+        Some(got),
+        "{label}: report index does not point at the returned element"
+    );
+    // Selection must never disturb the input array.
+    assert_eq!(mem.snapshot_cells(&h), cells, "{label}: input modified");
+}
+
+fn full(n: usize, salt: u64, key_range: u64) -> Vec<Cell> {
+    (0..n)
+        .map(|i| {
+            Some(Element::new(
+                odo_core::extmem::util::hash64(i as u64, salt) % key_range,
+                odo_core::extmem::util::hash64(i as u64, salt ^ 1) % 100,
+            ))
+        })
+        .collect()
+}
+
+#[test]
+fn matches_oracle_across_shapes_and_seeds() {
+    for (n, b, m) in [
+        (512usize, 8usize, 64usize),
+        (1024, 16, 128),
+        (2048, 32, 256),
+        (768, 8, 64),
+    ] {
+        for salt in 0..4u64 {
+            let cells = full(n, salt, 1 << 20);
+            for k in [0, n / 2, n - 1] {
+                check(
+                    &cells,
+                    b,
+                    m,
+                    k,
+                    &format!("N={n} B={b} M={m} salt={salt} k={k}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn extreme_ranks_k0_and_k_n_minus_1() {
+    // k = 0 (minimum) and k = N−1 (maximum) drive the bracket clamps: the
+    // lower splitter degenerates to −∞ and the upper to +∞ respectively.
+    let n = 1024;
+    let cells = full(n, 9, 1 << 30);
+    check(&cells, 8, 64, 0, "k=0");
+    check(&cells, 8, 64, 1, "k=1");
+    check(&cells, 8, 64, n - 2, "k=N-2");
+    check(&cells, 8, 64, n - 1, "k=N-1");
+}
+
+#[test]
+fn all_equal_keys() {
+    // Every key identical: only the (key, original index) working order keeps
+    // the pruning window shrinking; the answer is the element at position k.
+    let n = 900;
+    let cells: Vec<Cell> = (0..n)
+        .map(|i| Some(Element::new(7, i as u64 * 3)))
+        .collect();
+    for k in [0, 1, n / 2, n - 1] {
+        check(&cells, 8, 64, k, &format!("all-equal k={k}"));
+    }
+}
+
+#[test]
+fn heavy_duplicates() {
+    // Key ranges far smaller than N: every pruning bracket lands inside a
+    // run of duplicates.
+    let n = 1000;
+    for key_range in [2u64, 3, 5, 16] {
+        let cells = full(n, 13, key_range);
+        for k in [0, n / 4, n / 2, 3 * n / 4, n - 1] {
+            check(&cells, 8, 128, k, &format!("range={key_range} k={k}"));
+        }
+    }
+}
+
+#[test]
+fn non_power_of_two_lengths() {
+    for n in [3usize, 100, 500, 999, 1025] {
+        let cells = full(n, 21, 64);
+        let m = 64;
+        for k in [0, n / 2, n - 1] {
+            check(&cells, 8, m, k, &format!("N={n} k={k}"));
+        }
+    }
+}
+
+#[test]
+fn pure_in_cache_path() {
+    // N ≤ M: one read pass, no pruning rounds, no writes.
+    for (n, b, m) in [(64usize, 8usize, 64usize), (200, 8, 256), (1, 4, 32)] {
+        let cells = full(n, 2, 10);
+        let mut mem = ExtMem::new(b);
+        let h = mem.alloc_array_from_cells(&cells);
+        let (got, report) = select_kth(&mut mem, &h, m, n / 2);
+        assert_eq!(got, oracle(&cells, n / 2), "N={n}");
+        assert!(report.in_cache);
+        assert_eq!(report.rounds, 0);
+        assert_eq!(report.io.writes, 0, "the in-cache path never writes");
+    }
+}
+
+#[test]
+fn dummy_riddled_arrays() {
+    // Ranks are over occupied cells only; dummy placement is irrelevant.
+    let n = 800;
+    for density in [1usize, 2, 5] {
+        let cells: Vec<Cell> = (0..n)
+            .map(|i| {
+                (odo_core::extmem::util::hash64(i as u64, 31) as usize % 6 >= density)
+                    .then(|| Element::keyed((i as u64 * 37) % 97, i))
+            })
+            .collect();
+        let live = cells.iter().filter(|c| c.is_some()).count();
+        for k in [0, live / 2, live - 1] {
+            check(&cells, 8, 64, k, &format!("density={density} k={k}"));
+        }
+    }
+}
+
+#[test]
+fn selection_agrees_between_plain_and_encrypted_stores() {
+    let cells = full(600, 4, 50);
+    for k in [0usize, 300, 599] {
+        let mut mem = ExtMem::new(8);
+        let h = mem.alloc_array_from_cells(&cells);
+        let (plain, preport) = select_kth(&mut mem, &h, 64, k);
+
+        let mut enc = EncryptedStore::new(8, 0xE);
+        let eh = enc.alloc_array_from_cells(&cells);
+        let (encd, ereport) = select_kth(&mut enc, &eh, 64, k);
+
+        assert_eq!(plain, encd, "k={k}");
+        assert_eq!(preport.io, ereport.io, "k={k}: encryption added I/Os");
+    }
+}
+
+#[test]
+fn quantiles_match_the_oracle_at_every_requested_rank() {
+    let n = 1100;
+    for key_range in [4u64, 1 << 16] {
+        let cells = full(n, 8, key_range);
+        let ranks = [0usize, 1, n / 4, n / 2, 3 * n / 4, n - 2, n - 1];
+        let mut mem = ExtMem::new(8);
+        let h = mem.alloc_array_from_cells(&cells);
+        let (got, io) = quantiles(&mut mem, &h, 128, &ranks);
+        assert!(io.total() > 0);
+        for (i, &rk) in ranks.iter().enumerate() {
+            assert_eq!(got[i], oracle(&cells, rk), "range={key_range} rank={rk}");
+        }
+        assert_eq!(mem.snapshot_cells(&h), cells, "input modified");
+    }
+}
+
+#[test]
+fn quantiles_and_select_kth_agree() {
+    let cells = full(512, 77, 9);
+    let ranks = [0usize, 100, 255, 256, 511];
+    let mut mem = ExtMem::new(8);
+    let h = mem.alloc_array_from_cells(&cells);
+    let (qs, _) = quantiles(&mut mem, &h, 64, &ranks);
+    for (i, &rk) in ranks.iter().enumerate() {
+        let mut mem2 = ExtMem::new(8);
+        let h2 = mem2.alloc_array_from_cells(&cells);
+        let (sel, _) = select_kth(&mut mem2, &h2, 64, rk);
+        assert_eq!(qs[i], sel, "rank {rk}");
+    }
+}

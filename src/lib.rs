@@ -2,13 +2,14 @@
 //!
 //! Rust reproduction of Goodrich's SPAA 2011 paper *"Data-Oblivious
 //! External-Memory Algorithms for the Compaction, Selection, and Sorting of
-//! Outsourced Data"*. The root crate is a thin façade: the machine model
-//! lives in `odo-extmem`, the sorting networks and the external oblivious
-//! sort in `odo-obliv-net`, the §3 external butterfly compaction (and its
-//! reverse, expansion) in `odo-core::compact`, naive baselines in
+//! Outsourced Data"* — all three title primitives. The root crate is a thin
+//! façade: the machine model lives in `odo-extmem`, the sorting networks and
+//! the external oblivious sort in `odo-obliv-net`, the §3 external butterfly
+//! compaction (and its reverse, expansion) in `odo-core::compact`, the §4
+//! selection and quantiles in `odo-core::select`, naive baselines in
 //! `odo-baseline`, and the I/O-count benchmark harness in `odo-bench`
-//! (binary: `odo-bench`, emitting `BENCH_sort.json` and
-//! `BENCH_compact.json`).
+//! (binary: `odo-bench`, emitting `BENCH_sort.json`, `BENCH_compact.json`
+//! and `BENCH_select.json`).
 //!
 //! See `examples/quickstart.rs` for a five-line tour.
 
