@@ -44,7 +44,7 @@
 
 use baseline::{naive_external_bitonic_sort, naive_external_butterfly_compact, naive_select_kth};
 use extmem::element::Cell;
-use extmem::{Element, EncryptedStore, ExtMem, IoStats};
+use extmem::{Element, EncryptedStore, ExtMem, FaultSpec, FaultStats, IoStats};
 use obliv_net::external_sort::{external_oblivious_sort, SortOrder, SortReport};
 use odo_core::compact::{compact, CompactReport};
 use odo_core::select::{select_kth, SelectReport};
@@ -701,6 +701,447 @@ pub fn to_table(results: &[SortBenchResult]) -> String {
     s
 }
 
+// ---------------------------------------------------------------------------
+// The untrusted-server fault benchmark (`BENCH_faults.json`)
+// ---------------------------------------------------------------------------
+
+/// One scenario of the fault benchmark: a store stack (authenticated or
+/// plain) plus a deterministic fault specification injected underneath it.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultScenario {
+    /// Scenario name as emitted into the JSON.
+    pub name: &'static str,
+    /// Whether an [`AuthenticatedStore`] sits between the client and the
+    /// faulty server.
+    pub authenticated: bool,
+    /// Fault rates injected during the sort (populate and verification run
+    /// fault-free).
+    pub spec: FaultSpec,
+}
+
+/// The fixed scenario list of the fault benchmark. The rates are chosen so
+/// every fault lane fires reliably even on the `N = 2^12` smoke grid; the
+/// stale lane runs hotter because replays are only *material* on blocks
+/// already rewritten with new content.
+pub fn fault_scenarios() -> Vec<FaultScenario> {
+    let none = FaultSpec::none();
+    vec![
+        FaultScenario {
+            name: "plain_no_faults",
+            authenticated: false,
+            spec: none,
+        },
+        FaultScenario {
+            name: "auth_no_faults",
+            authenticated: true,
+            spec: none,
+        },
+        FaultScenario {
+            name: "auth_transient",
+            authenticated: true,
+            spec: FaultSpec {
+                transient_read_ppm: 20_000,
+                ..none
+            },
+        },
+        FaultScenario {
+            name: "auth_corrupt",
+            authenticated: true,
+            spec: FaultSpec {
+                corrupt_read_ppm: 2_000,
+                ..none
+            },
+        },
+        FaultScenario {
+            name: "auth_stale",
+            authenticated: true,
+            spec: FaultSpec {
+                stale_read_ppm: 8_000,
+                ..none
+            },
+        },
+        FaultScenario {
+            name: "auth_drop",
+            authenticated: true,
+            spec: FaultSpec {
+                drop_write_ppm: 2_000,
+                ..none
+            },
+        },
+        // The motivation row: the same corrupting server *without* the
+        // authentication layer completes the sort and hands back silently
+        // wrong data.
+        FaultScenario {
+            name: "plain_corrupt_silent",
+            authenticated: false,
+            spec: FaultSpec {
+                corrupt_read_ppm: 2_000,
+                ..none
+            },
+        },
+    ]
+}
+
+/// Measured result of one fault scenario at one grid point.
+#[derive(Clone, Debug)]
+pub struct FaultBenchResult {
+    /// The parameters measured.
+    pub point: GridPoint,
+    /// The scenario that produced this row.
+    pub scenario: FaultScenario,
+    /// Bottom-level (server-side) I/Os of the sort window, including MAC
+    /// traffic and the final MAC flush when authenticated.
+    pub sort_io: IoStats,
+    /// Transient retries performed by the retry layer.
+    pub retries: u64,
+    /// Abstract backoff units slept across those retries.
+    pub backoff_units: u64,
+    /// Faults actually injected during the sort window.
+    pub faults: FaultStats,
+    /// The typed error the sort returned, if any (rendered).
+    pub run_error: Option<String>,
+    /// The typed error the fault-free verified read-back returned, if any.
+    pub readback_error: Option<String>,
+    /// Whether the read-back matched the expected sorted output (only
+    /// meaningful when no error preempted it).
+    pub output_correct: Option<bool>,
+    /// Bottom-level I/O overhead of this scenario relative to the
+    /// `plain_no_faults` baseline at the same point (filled by
+    /// [`run_fault_grid`]).
+    pub overhead_vs_plain: Option<f64>,
+}
+
+impl FaultBenchResult {
+    /// Whether tampering surfaced as a typed error (at run time or on the
+    /// verified read-back).
+    pub fn detected(&self) -> bool {
+        self.run_error.is_some() || self.readback_error.is_some()
+    }
+
+    /// The row's outcome classification: `"correct"`, `"detected"`, or the
+    /// forbidden-under-authentication `"silent_wrong"`.
+    pub fn outcome(&self) -> &'static str {
+        if self.detected() {
+            "detected"
+        } else if self.output_correct == Some(true) {
+            "correct"
+        } else {
+            "silent_wrong"
+        }
+    }
+}
+
+/// Measures one fault scenario at one grid point: populate fault-free, sort
+/// with the scenario's faults injected, then verify fault-free. The measured
+/// I/O window covers the sort plus (when authenticated) the final MAC flush —
+/// exactly the traffic a client pays per operation against an untrusted
+/// server.
+pub fn run_fault_point(point: GridPoint, scenario: FaultScenario) -> FaultBenchResult {
+    use extmem::{AuthenticatedStore, BlockStore, FaultyStore, RetryPolicy};
+    use odo_core::try_sort;
+
+    let GridPoint { n, b, m } = point;
+    let input = bench_input(n, 0xFA17);
+    let mut expected = input.clone();
+    expected.sort_unstable();
+    let cells: Vec<Cell> = input.iter().copied().map(Some).collect();
+    let policy = RetryPolicy::default();
+
+    let enc = EncryptedStore::new(b, 0xFA17_0001);
+    let faulty = FaultyStore::new(enc, 0xFA17_0002, FaultSpec::none());
+
+    let check = |got: Result<Vec<Cell>, extmem::StoreError>| match got {
+        Ok(out) => {
+            let flat: Vec<Element> = out.into_iter().flatten().collect();
+            (None, Some(flat == expected))
+        }
+        Err(e) => (Some(e.to_string()), None),
+    };
+
+    if scenario.authenticated {
+        let mut auth = AuthenticatedStore::new(faulty, 0xFA17_0003);
+        let h = BlockStore::alloc_array(&mut auth, n);
+        auth.try_store_span(&h, 0, &cells)
+            .expect("fault-free populate");
+        auth.flush_macs().expect("fault-free flush");
+
+        let before = auth.inner().inner().io_stats();
+        auth.inner_mut().set_spec(scenario.spec);
+        let faults_before = auth.inner().fault_stats();
+        let run = try_sort(&mut auth, &h, m, SortOrder::Ascending, policy);
+        auth.inner_mut().set_spec(FaultSpec::none());
+        let faults = auth.inner().fault_stats();
+        let _ = auth.flush_macs();
+        let after = auth.inner().inner().io_stats();
+
+        let (retries, backoff_units, run_error) = match run {
+            Ok((_, retry)) => (retry.retries, retry.backoff_units, None),
+            Err(e) => (0, 0, Some(e.to_string())),
+        };
+        let (readback_error, output_correct) = if run_error.is_some() {
+            (None, None)
+        } else {
+            check(auth.try_load_span(&h, 0, n))
+        };
+        FaultBenchResult {
+            point,
+            scenario,
+            sort_io: IoStats {
+                reads: after.reads - before.reads,
+                writes: after.writes - before.writes,
+            },
+            retries,
+            backoff_units,
+            faults: FaultStats {
+                transient_reads: faults.transient_reads - faults_before.transient_reads,
+                corrupt_reads: faults.corrupt_reads - faults_before.corrupt_reads,
+                stale_reads: faults.stale_reads - faults_before.stale_reads,
+                dropped_writes: faults.dropped_writes - faults_before.dropped_writes,
+            },
+            run_error,
+            readback_error,
+            output_correct,
+            overhead_vs_plain: None,
+        }
+    } else {
+        let mut faulty = faulty;
+        let h = BlockStore::alloc_array(&mut faulty, n);
+        faulty
+            .try_store_span(&h, 0, &cells)
+            .expect("fault-free populate");
+
+        let before = faulty.inner().io_stats();
+        faulty.set_spec(scenario.spec);
+        let run = try_sort(&mut faulty, &h, m, SortOrder::Ascending, policy);
+        faulty.set_spec(FaultSpec::none());
+        let faults = faulty.fault_stats();
+        let after = faulty.inner().io_stats();
+
+        let (retries, backoff_units, run_error) = match run {
+            Ok((_, retry)) => (retry.retries, retry.backoff_units, None),
+            Err(e) => (0, 0, Some(e.to_string())),
+        };
+        let (readback_error, output_correct) = if run_error.is_some() {
+            (None, None)
+        } else {
+            check(faulty.try_load_span(&h, 0, n))
+        };
+        FaultBenchResult {
+            point,
+            scenario,
+            sort_io: IoStats {
+                reads: after.reads - before.reads,
+                writes: after.writes - before.writes,
+            },
+            retries,
+            backoff_units,
+            faults,
+            run_error,
+            readback_error,
+            output_correct,
+            overhead_vs_plain: None,
+        }
+    }
+}
+
+/// Runs every [`fault_scenarios`] row at `point` and fills each result's
+/// overhead relative to the `plain_no_faults` baseline.
+pub fn run_fault_grid(point: GridPoint) -> Vec<FaultBenchResult> {
+    let mut results: Vec<FaultBenchResult> = fault_scenarios()
+        .into_iter()
+        .map(|s| run_fault_point(point, s))
+        .collect();
+    let baseline = results
+        .iter()
+        .find(|r| r.scenario.name == "plain_no_faults")
+        .map(|r| r.sort_io.total())
+        .expect("the scenario list starts with the plain baseline");
+    for r in &mut results {
+        r.overhead_vs_plain = Some(r.sort_io.total() as f64 / baseline.max(1) as f64 - 1.0);
+    }
+    results
+}
+
+/// Checks the fault-model acceptance gates over one grid point's results.
+/// Returns every violated gate as a message; an empty vector means the point
+/// passes.
+pub fn check_fault_gates(results: &[FaultBenchResult]) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut push = |cond: bool, msg: String| {
+        if !cond {
+            violations.push(msg);
+        }
+    };
+    for r in results {
+        let GridPoint { n, b, m } = r.point;
+        let at = format!("{} at N={n} B={b} M={m}", r.scenario.name);
+        match r.scenario.name {
+            "plain_no_faults" => {
+                push(
+                    r.outcome() == "correct",
+                    format!("{at}: baseline must sort correctly"),
+                );
+            }
+            "auth_no_faults" => {
+                push(
+                    r.outcome() == "correct",
+                    format!("{at}: must sort correctly"),
+                );
+                let overhead = r.overhead_vs_plain.unwrap_or(f64::INFINITY);
+                push(
+                    overhead <= 0.15,
+                    format!(
+                        "{at}: authentication overhead {:.1}% > 15% ({} vs baseline I/Os)",
+                        overhead * 100.0,
+                        r.sort_io.total()
+                    ),
+                );
+            }
+            "auth_transient" => {
+                push(
+                    r.outcome() == "correct",
+                    format!(
+                        "{at}: transients must retry to the correct result, got {:?}",
+                        r.run_error
+                    ),
+                );
+                push(
+                    r.retries > 0,
+                    format!("{at}: the transient lane never fired"),
+                );
+                push(
+                    r.faults.tampering() == 0,
+                    format!("{at}: transients are not tampering"),
+                );
+            }
+            "auth_corrupt" | "auth_stale" | "auth_drop" => {
+                push(
+                    r.faults.tampering() > 0,
+                    format!("{at}: the tamper lane never fired — raise the rate"),
+                );
+                push(
+                    r.outcome() == "detected",
+                    format!(
+                        "{at}: tampering must surface as a typed error, got {}",
+                        r.outcome()
+                    ),
+                );
+            }
+            "plain_corrupt_silent" => {
+                push(
+                    r.faults.tampering() > 0,
+                    format!("{at}: the corrupt lane never fired — raise the rate"),
+                );
+                push(
+                    r.outcome() == "silent_wrong",
+                    format!(
+                        "{at}: without authentication corruption should yield a silently \
+                         wrong answer (the motivation row), got {}",
+                        r.outcome()
+                    ),
+                );
+            }
+            other => push(false, format!("unknown scenario {other:?}")),
+        }
+    }
+    violations
+}
+
+/// Renders the fault results as the `BENCH_faults.json` document
+/// (hand-rolled JSON; the workspace deliberately has no external
+/// dependencies).
+pub fn faults_to_json(results: &[FaultBenchResult]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"benchmark\": \"untrusted_server_faults\",\n");
+    s.push_str(
+        "  \"io_model\": \"1 I/O per bottom-level block read or write; sort window incl. MAC traffic\",\n",
+    );
+    s.push_str("  \"workload\": \"external_oblivious_sort\",\n");
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let GridPoint { n, b, m } = r.point;
+        s.push_str("    {\n");
+        let _ = writeln!(s, "      \"scenario\": \"{}\",", r.scenario.name);
+        let _ = writeln!(s, "      \"n\": {n},");
+        let _ = writeln!(s, "      \"b\": {b},");
+        let _ = writeln!(s, "      \"m\": {m},");
+        let _ = writeln!(s, "      \"authenticated\": {},", r.scenario.authenticated);
+        let _ = writeln!(
+            s,
+            "      \"fault_ppm\": {{\"transient\": {}, \"corrupt\": {}, \"stale\": {}, \"drop\": {}}},",
+            r.scenario.spec.transient_read_ppm,
+            r.scenario.spec.corrupt_read_ppm,
+            r.scenario.spec.stale_read_ppm,
+            r.scenario.spec.drop_write_ppm
+        );
+        let _ = writeln!(s, "      \"sort_reads\": {},", r.sort_io.reads);
+        let _ = writeln!(s, "      \"sort_writes\": {},", r.sort_io.writes);
+        let _ = writeln!(s, "      \"sort_total\": {},", r.sort_io.total());
+        match r.overhead_vs_plain {
+            Some(o) => {
+                let _ = writeln!(s, "      \"overhead_vs_plain\": {o:.4},");
+            }
+            None => s.push_str("      \"overhead_vs_plain\": null,\n"),
+        }
+        let _ = writeln!(s, "      \"retries\": {},", r.retries);
+        let _ = writeln!(s, "      \"backoff_units\": {},", r.backoff_units);
+        let _ = writeln!(
+            s,
+            "      \"faults_injected\": {{\"transient\": {}, \"corrupt\": {}, \"stale\": {}, \"drop\": {}}},",
+            r.faults.transient_reads,
+            r.faults.corrupt_reads,
+            r.faults.stale_reads,
+            r.faults.dropped_writes
+        );
+        match &r.run_error {
+            Some(e) => {
+                let _ = writeln!(s, "      \"run_error\": \"{}\",", e.replace('"', "'"));
+            }
+            None => s.push_str("      \"run_error\": null,\n"),
+        }
+        match &r.readback_error {
+            Some(e) => {
+                let _ = writeln!(s, "      \"readback_error\": \"{}\",", e.replace('"', "'"));
+            }
+            None => s.push_str("      \"readback_error\": null,\n"),
+        }
+        let _ = writeln!(s, "      \"outcome\": \"{}\"", r.outcome());
+        s.push_str("    }");
+        s.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Renders a human-readable table of the fault results.
+pub fn faults_to_table(results: &[FaultBenchResult]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:>22} {:>8} {:>12} {:>9} {:>8} {:>8} {:>12}",
+        "scenario", "N", "sort I/Os", "overhead", "retries", "faults", "outcome"
+    );
+    for r in results {
+        let overhead = r
+            .overhead_vs_plain
+            .map(|o| format!("{:+.1}%", o * 100.0))
+            .unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            s,
+            "{:>22} {:>8} {:>12} {:>9} {:>8} {:>8} {:>12}",
+            r.scenario.name,
+            r.point.n,
+            r.sort_io.total(),
+            overhead,
+            r.retries,
+            r.faults.total(),
+            r.outcome()
+        );
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -908,6 +1349,42 @@ mod tests {
         assert!(json.contains("\"encrypted_trace_identical\": true"));
         assert!(json.contains("\"speedup_vs_naive\""));
         assert!(json.contains("\"within_bound\": true"));
+    }
+
+    #[test]
+    fn fault_gates_pass_at_the_smoke_point() {
+        extmem::install_quiet_abort_hook();
+        let results = run_fault_grid(GridPoint {
+            n: 1 << 12,
+            b: 64,
+            m: 1 << 9,
+        });
+        assert_eq!(results.len(), fault_scenarios().len());
+        let violations = check_fault_gates(&results);
+        assert!(
+            violations.is_empty(),
+            "fault gates violated: {violations:#?}"
+        );
+    }
+
+    /// The seeded-determinism satellite at the benchmark level: two
+    /// independent runs of the same grid produce byte-identical JSON — fault
+    /// schedules, retry counts and I/O totals included.
+    #[test]
+    fn faults_json_is_deterministic_across_runs() {
+        extmem::install_quiet_abort_hook();
+        let point = GridPoint {
+            n: 1 << 12,
+            b: 64,
+            m: 1 << 9,
+        };
+        let a = faults_to_json(&run_fault_grid(point));
+        let b = faults_to_json(&run_fault_grid(point));
+        assert_eq!(a, b, "BENCH_faults.json must be reproducible");
+        assert_eq!(a.matches("\"scenario\"").count(), fault_scenarios().len());
+        assert!(a.contains("\"outcome\": \"detected\""));
+        assert!(a.contains("\"outcome\": \"silent_wrong\""));
+        assert!(a.contains("\"overhead_vs_plain\""));
     }
 
     #[test]

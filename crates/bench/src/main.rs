@@ -1,6 +1,6 @@
-//! `odo-bench` binary: runs the sort, compaction and selection benchmark
-//! grids and writes `BENCH_sort.json` / `BENCH_compact.json` /
-//! `BENCH_select.json` into the current directory.
+//! `odo-bench` binary: runs the sort, compaction, selection and fault-model
+//! benchmark grids and writes `BENCH_sort.json` / `BENCH_compact.json` /
+//! `BENCH_select.json` / `BENCH_faults.json` into the current directory.
 //!
 //! Usage:
 //!
@@ -8,18 +8,23 @@
 //!   default grid (from the repo root, so the JSON lands next to
 //!   `Cargo.toml`).
 //! * `cargo run --release -p odo-bench -- select` — one benchmark only
-//!   (`sort`, `compact`, `select`, or `all`).
+//!   (`sort`, `compact`, `select`, `faults`, or `all`).
 //! * `cargo run --release -p odo-bench -- --smoke` — the `N = 2^12` smoke
 //!   grid: same emitters, same bound gates, cheap enough for every CI push
 //!   (JSON goes to `BENCH_*.smoke.json` so a smoke run never clobbers the
 //!   full-grid numbers).
 
 use odo_bench::{
-    compact_to_json, compact_to_table, default_grid, run_compact_point, run_select_point,
-    run_sort_point, select_to_json, select_to_table, smoke_grid, to_json, to_table, GridPoint,
+    check_fault_gates, compact_to_json, compact_to_table, default_grid, faults_to_json,
+    faults_to_table, run_compact_point, run_fault_grid, run_select_point, run_sort_point,
+    select_to_json, select_to_table, smoke_grid, to_json, to_table, GridPoint,
 };
 
 fn main() {
+    // Tampered runs abort via a typed panic payload that `try_sort` catches
+    // and converts to `Err`; keep the default hook from spamming stderr with
+    // those intentional, fully-handled unwinds.
+    extmem::install_quiet_abort_hook();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let which = args
@@ -28,8 +33,8 @@ fn main() {
         .map(String::as_str)
         .unwrap_or("all");
     assert!(
-        matches!(which, "all" | "sort" | "compact" | "select"),
-        "unknown benchmark {which:?}: expected sort, compact, select, or all"
+        matches!(which, "all" | "sort" | "compact" | "select" | "faults"),
+        "unknown benchmark {which:?}: expected sort, compact, select, faults, or all"
     );
     let run = |name: &str| which == "all" || which == name;
     let grid = if smoke { smoke_grid() } else { default_grid() };
@@ -103,6 +108,43 @@ fn main() {
         println!("wrote {spath}");
     }
 
+    // --- the untrusted-server fault model ---
+    let mut fresults = Vec::new();
+    if run("faults") {
+        let fault_grid: Vec<GridPoint> = if smoke {
+            vec![GridPoint {
+                n: 1 << 12,
+                b: 64,
+                m: 1 << 9,
+            }]
+        } else {
+            vec![
+                GridPoint {
+                    n: 1 << 14,
+                    b: 64,
+                    m: 1 << 10,
+                },
+                headline,
+            ]
+        };
+        for &point in &fault_grid {
+            eprintln!(
+                "faults: measuring N={} B={} M={} (auth overhead + tamper detection + retries)...",
+                point.n, point.b, point.m
+            );
+            fresults.extend(run_fault_grid(point));
+        }
+        print!("{}", faults_to_table(&fresults));
+        let fjson = faults_to_json(&fresults);
+        let fpath = if smoke {
+            "BENCH_faults.smoke.json"
+        } else {
+            "BENCH_faults.json"
+        };
+        std::fs::write(fpath, &fjson).expect("failed to write the fault benchmark JSON");
+        println!("wrote {fpath}");
+    }
+
     // Enforce the acceptance gates so CI fails loudly on regressions: every
     // point within its bound, compaction and selection beating their naive
     // baselines at every point, and (full grid only) the headline speedups.
@@ -166,6 +208,19 @@ fn main() {
             );
             failed = true;
         }
+    }
+    for msg in check_fault_gates(&fresults) {
+        eprintln!("FAULT GATE VIOLATION: {msg}");
+        failed = true;
+    }
+    if let Some(r) = fresults
+        .iter()
+        .find(|r| r.point == headline && r.scenario.name == "auth_no_faults")
+    {
+        println!(
+            "faults headline (N=2^18, B=64, M=2^13): authentication costs {:+.1}% bottom-level I/Os",
+            r.overhead_vs_plain.unwrap_or(f64::NAN) * 100.0
+        );
     }
     if !smoke {
         if let Some(r) = results.iter().find(|r| r.point == headline) {

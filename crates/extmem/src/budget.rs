@@ -9,6 +9,8 @@
 //! suite catches algorithms that quietly assume a larger cache than the
 //! configuration allows.
 
+use crate::error::StoreError;
+
 /// Tracks how much of the private cache an algorithm is currently using.
 #[derive(Clone, Debug)]
 pub struct CacheBudget {
@@ -59,6 +61,23 @@ impl CacheBudget {
             self.capacity
         );
         self.high_water = self.high_water.max(self.in_use);
+    }
+
+    /// Fallible variant of [`CacheBudget::acquire`]: claims `slots` slots,
+    /// or returns [`StoreError::BudgetExceeded`] leaving the budget
+    /// untouched. Used by the authenticated store, whose client-side
+    /// verification state competes with the algorithms for private memory.
+    pub fn try_acquire(&mut self, slots: usize) -> Result<(), StoreError> {
+        if self.in_use + slots > self.capacity {
+            return Err(StoreError::BudgetExceeded {
+                requested: slots,
+                in_use: self.in_use,
+                capacity: self.capacity,
+            });
+        }
+        self.in_use += slots;
+        self.high_water = self.high_water.max(self.in_use);
+        Ok(())
     }
 
     /// Releases `slots` previously acquired slots.
@@ -116,5 +135,87 @@ mod tests {
         assert_eq!(r, 6);
         assert_eq!(b.in_use(), 0);
         assert_eq!(b.high_water(), 6);
+    }
+
+    #[test]
+    fn acquire_to_exactly_capacity_is_allowed() {
+        // The boundary case: using every last slot of M is legal; it is
+        // capacity + 1 that is the violation.
+        let mut b = CacheBudget::new(10);
+        b.acquire(10);
+        assert_eq!(b.in_use(), 10);
+        assert_eq!(b.high_water(), 10);
+        b.release(10);
+        assert_eq!(b.in_use(), 0);
+        b.acquire(9);
+        b.acquire(1); // incremental path to exactly-full is legal too
+        assert_eq!(b.in_use(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "private cache budget exceeded")]
+    fn one_past_capacity_panics_even_incrementally() {
+        let mut b = CacheBudget::new(10);
+        b.acquire(10);
+        b.acquire(1);
+    }
+
+    #[test]
+    fn release_to_exactly_zero_is_allowed() {
+        let mut b = CacheBudget::new(4);
+        b.acquire(4);
+        b.release(4);
+        assert_eq!(b.in_use(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing more cache")]
+    fn release_below_zero_panics_from_empty() {
+        let mut b = CacheBudget::new(4);
+        b.release(1);
+    }
+
+    #[test]
+    fn high_water_tracks_the_peak_across_nested_acquires() {
+        let mut b = CacheBudget::new(32);
+        b.with(8, |b| {
+            b.with(16, |b| {
+                b.acquire(4); // peak: 8 + 16 + 4 = 28
+                b.release(4);
+            });
+            assert_eq!(b.in_use(), 8);
+        });
+        assert_eq!(b.in_use(), 0);
+        assert_eq!(b.high_water(), 28, "the peak survives every release");
+        // A later, smaller burst never lowers the recorded peak.
+        b.with(5, |_| {});
+        assert_eq!(b.high_water(), 28);
+    }
+
+    #[test]
+    fn try_acquire_succeeds_up_to_capacity() {
+        let mut b = CacheBudget::new(10);
+        b.try_acquire(10).unwrap();
+        assert_eq!(b.in_use(), 10);
+        assert_eq!(b.high_water(), 10);
+    }
+
+    #[test]
+    fn try_acquire_over_capacity_is_a_typed_error_and_leaves_state_untouched() {
+        let mut b = CacheBudget::new(10);
+        b.acquire(7);
+        let err = b.try_acquire(4).unwrap_err();
+        assert_eq!(
+            err,
+            StoreError::BudgetExceeded {
+                requested: 4,
+                in_use: 7,
+                capacity: 10
+            }
+        );
+        assert_eq!(b.in_use(), 7, "a failed claim must not leak slots");
+        assert_eq!(b.high_water(), 7);
+        b.try_acquire(3).unwrap(); // the budget remains usable
+        assert_eq!(b.in_use(), 10);
     }
 }

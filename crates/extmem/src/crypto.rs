@@ -15,18 +15,26 @@
 //!
 //! The cipher is a keyed `splitmix64` keystream (a toy stream cipher). It is
 //! **not** cryptographically strong and is clearly documented as a
-//! simulation substitute (see `DESIGN.md`, substitution table); swapping in a
-//! real AEAD would not change any access pattern or I/O count.
+//! simulation substitute — the substitution table in `DESIGN.md` at the
+//! workspace root maps every toy primitive to its real counterpart;
+//! swapping in a real AEAD would not change any access pattern or I/O
+//! count. Note that
+//! encryption alone provides **no integrity or freshness**: wrap the store
+//! in [`AuthenticatedStore`](crate::auth::AuthenticatedStore) when the
+//! server may tamper or roll back.
 //!
 //! # Encoding
 //!
 //! Each cell is serialised to two 64-bit plaintext words: the key, and a word
 //! whose top bit is the occupancy flag and whose low 63 bits are the payload.
 //! Consequently payloads stored through the encrypted path are limited to 63
-//! bits (asserted on write); keys keep the full 64 bits.
+//! bits: the infallible write path panics on wider payloads, the fallible
+//! path ([`BlockStore::try_store_block`]) rejects them with
+//! [`StoreError::PayloadTooWide`]. Keys keep the full 64 bits.
 
 use crate::block::Block;
 use crate::element::{Cell, Element};
+use crate::error::StoreError;
 use crate::mem::{ArrayHandle, ExtMem, IoStats};
 use crate::store::BlockStore;
 use crate::util::hash64;
@@ -97,7 +105,10 @@ impl EncryptedStore {
                 Some(e) => {
                     assert!(
                         e.payload <= PAYLOAD_MASK,
-                        "EncryptedStore payloads are limited to 63 bits"
+                        "EncryptedStore payloads are limited to 63 bits \
+                         (got {:#x} > PAYLOAD_MASK = 2^63 - 1); use try_store_block for a \
+                         typed StoreError::PayloadTooWide instead",
+                        e.payload
                     );
                     (e.key, OCC_BIT | e.payload)
                 }
@@ -234,6 +245,25 @@ impl BlockStore for EncryptedStore {
     fn io_stats(&self) -> IoStats {
         self.stats()
     }
+
+    /// The fallible write path rejects over-wide payloads with a typed
+    /// [`StoreError::PayloadTooWide`] instead of panicking, so retrying
+    /// wrappers and the `try_` algorithm variants can propagate it.
+    fn try_store_block(&mut self, h: &ArrayHandle, i: usize, blk: Block) -> Result<(), StoreError> {
+        if let Some(e) = blk
+            .slots()
+            .iter()
+            .flatten()
+            .find(|e| e.payload > PAYLOAD_MASK)
+        {
+            return Err(StoreError::PayloadTooWide {
+                addr: h.global_block(i),
+                payload: e.payload,
+            });
+        }
+        self.write_block(h, i, &blk);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -347,5 +377,28 @@ mod tests {
         let mut blk = Block::empty(2);
         blk.set(0, Some(Element::new(1, u64::MAX)));
         store.write_block(&h, 0, &blk);
+    }
+
+    #[test]
+    fn oversized_payload_is_a_typed_error_on_the_fallible_path() {
+        let mut store = EncryptedStore::new(2, 1);
+        let h = store.alloc_array(4);
+        let mut blk = Block::empty(2);
+        blk.set(0, Some(Element::new(1, u64::MAX)));
+        let err = store.try_store_block(&h, 1, blk).unwrap_err();
+        assert_eq!(
+            err,
+            StoreError::PayloadTooWide {
+                addr: h.global_block(1),
+                payload: u64::MAX
+            }
+        );
+        // Nothing was written and no I/O was charged for the rejected call.
+        assert_eq!(store.stats().writes, 0);
+        // Valid payloads still go through the fallible path.
+        let mut ok = Block::empty(2);
+        ok.set(0, Some(Element::new(1, (1 << 63) - 1)));
+        store.try_store_block(&h, 1, ok.clone()).unwrap();
+        assert_eq!(store.try_load_block(&h, 1).unwrap(), ok);
     }
 }

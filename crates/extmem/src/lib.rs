@@ -33,6 +33,23 @@
 //! * [`trace`] — utilities for comparing access traces, the basis of the
 //!   obliviousness test-suite used across the workspace.
 //!
+//! ## The untrusted/unreliable server
+//!
+//! The paper's server is not merely curious — it is *untrusted*. The fault
+//! model (see the repo-root `DESIGN.md`) extends the substrate accordingly:
+//!
+//! * [`StoreError`](error::StoreError) — the typed failure vocabulary, and
+//!   the `try_*` fallible operations every [`BlockStore`] carries.
+//! * [`FaultyStore`](fault::FaultyStore) — a seeded, deterministic fault
+//!   injector: transient read failures, ciphertext corruption, stale
+//!   replays, dropped writes, at configurable per-op rates.
+//! * [`AuthenticatedStore`](auth::AuthenticatedStore) — per-block MACs plus
+//!   a client-side version table: corruption and rollback surface as
+//!   `Err(Corrupted | Stale)`, never as wrong data.
+//! * [`RetryingStore`](retry::RetryingStore) / [`run_fallible`](retry::run_fallible)
+//!   — bounded retry with backoff for transient faults, and the bridge that
+//!   runs the infallible oblivious algorithms over a fallible server.
+//!
 //! ## Cost model
 //!
 //! Every [`ExtMem::read_block`] / [`ExtMem::write_block`] costs exactly one
@@ -45,22 +62,30 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod auth;
 pub mod block;
 pub mod budget;
 pub mod cache;
 pub mod config;
 pub mod crypto;
 pub mod element;
+pub mod error;
+pub mod fault;
 pub mod mem;
+pub mod retry;
 pub mod store;
 pub mod trace;
 pub mod util;
 
+pub use auth::AuthenticatedStore;
 pub use block::Block;
 pub use budget::CacheBudget;
 pub use cache::BlockCache;
 pub use config::{Config, ConfigError};
 pub use crypto::EncryptedStore;
 pub use element::{Cell, Element};
+pub use error::StoreError;
+pub use fault::{FaultKind, FaultSpec, FaultStats, FaultyStore};
 pub use mem::{AccessEvent, AccessOp, AccessTrace, ArrayHandle, ExtMem, IoStats};
+pub use retry::{install_quiet_abort_hook, run_fallible, RetryPolicy, RetryStats, RetryingStore};
 pub use store::BlockStore;

@@ -20,6 +20,7 @@
 
 use crate::block::Block;
 use crate::element::Cell;
+use crate::error::StoreError;
 use crate::mem::{ArrayHandle, ExtMem, IoStats};
 
 /// A server that stores arrays of blocks and charges one I/O per block read
@@ -40,6 +41,104 @@ pub trait BlockStore {
 
     /// Cumulative I/O counters of the underlying server.
     fn io_stats(&self) -> IoStats;
+
+    /// Fallible read of local block `i` of array `h` (one I/O).
+    ///
+    /// The default delegates to the infallible [`BlockStore::load_block`], so
+    /// reliable honest servers ([`ExtMem`],
+    /// [`EncryptedStore`](crate::crypto::EncryptedStore)) never fail. Untrusted
+    /// or unreliable wrappers ([`FaultyStore`](crate::fault::FaultyStore),
+    /// [`AuthenticatedStore`](crate::auth::AuthenticatedStore)) override this
+    /// to surface [`StoreError`]s instead of wrong data.
+    fn try_load_block(&mut self, h: &ArrayHandle, i: usize) -> Result<Block, StoreError> {
+        Ok(self.load_block(h, i))
+    }
+
+    /// Fallible write of local block `i` of array `h` (one I/O). Default
+    /// delegates to the infallible [`BlockStore::store_block`].
+    fn try_store_block(&mut self, h: &ArrayHandle, i: usize, blk: Block) -> Result<(), StoreError> {
+        self.store_block(h, i, blk);
+        Ok(())
+    }
+
+    /// Fallible fused read-modify-write of the distinct block pair `(i, j)`,
+    /// in the same fixed order as [`BlockStore::modify_pair`]: read `i`, read
+    /// `j`, write `i`, write `j` (4 I/Os). Stops at the first failing I/O.
+    fn try_modify_pair(
+        &mut self,
+        h: &ArrayHandle,
+        i: usize,
+        j: usize,
+        f: impl FnOnce(&mut Block, &mut Block),
+    ) -> Result<(), StoreError> {
+        assert_ne!(i, j, "block pair must be two distinct blocks");
+        let mut a = self.try_load_block(h, i)?;
+        let mut b = self.try_load_block(h, j)?;
+        f(&mut a, &mut b);
+        self.try_store_block(h, i, a)?;
+        self.try_store_block(h, j, b)
+    }
+
+    /// Fallible variant of [`BlockStore::load_span`]: same blocks, same
+    /// ascending order, stops at the first failing read.
+    fn try_load_span(
+        &mut self,
+        h: &ArrayHandle,
+        elem_lo: usize,
+        elem_hi: usize,
+    ) -> Result<Vec<Cell>, StoreError> {
+        assert!(
+            elem_lo <= elem_hi && elem_hi <= h.len(),
+            "span out of range"
+        );
+        if elem_lo == elem_hi {
+            return Ok(Vec::new());
+        }
+        let b = self.block_elems();
+        let blk_lo = elem_lo / b;
+        let blk_hi = (elem_hi - 1) / b;
+        let mut out = Vec::with_capacity(elem_hi - elem_lo);
+        for bi in blk_lo..=blk_hi {
+            let blk = self.try_load_block(h, bi)?;
+            let lo = elem_lo.max(bi * b) - bi * b;
+            let hi = elem_hi.min((bi + 1) * b) - bi * b;
+            out.extend_from_slice(&blk.slots()[lo..hi]);
+        }
+        Ok(out)
+    }
+
+    /// Fallible variant of [`BlockStore::store_span`]: same blocks, same
+    /// ascending order, stops at the first failing I/O.
+    fn try_store_span(
+        &mut self,
+        h: &ArrayHandle,
+        elem_lo: usize,
+        cells: &[Cell],
+    ) -> Result<(), StoreError> {
+        let elem_hi = elem_lo + cells.len();
+        assert!(elem_hi <= h.len(), "span out of range");
+        if cells.is_empty() {
+            return Ok(());
+        }
+        let b = self.block_elems();
+        let blk_lo = elem_lo / b;
+        let blk_hi = (elem_hi - 1) / b;
+        for bi in blk_lo..=blk_hi {
+            let lo = elem_lo.max(bi * b);
+            let hi = elem_hi.min((bi + 1) * b);
+            let full = lo == bi * b && hi == (bi + 1) * b;
+            let mut blk = if full {
+                Block::empty(b)
+            } else {
+                self.try_load_block(h, bi)?
+            };
+            for (slot, cell) in (lo - bi * b..hi - bi * b).zip(&cells[lo - elem_lo..hi - elem_lo]) {
+                blk.set(slot, *cell);
+            }
+            self.try_store_block(h, bi, blk)?;
+        }
+        Ok(())
+    }
 
     /// Fused read-modify-write of the distinct block pair `(i, j)` in the
     /// fixed order: read `i`, read `j`, write `i`, write `j` (4 I/Os).
@@ -167,6 +266,41 @@ mod tests {
     fn extmem_implements_the_trait_combinators() {
         let mut mem = ExtMem::new(4);
         store_roundtrip(&mut mem);
+    }
+
+    #[test]
+    fn try_defaults_delegate_to_the_infallible_ops() {
+        // On an honest reliable store the fallible path always succeeds and
+        // is operationally identical to the infallible one.
+        let mut mem = ExtMem::new(4);
+        let h = BlockStore::alloc_array(&mut mem, 12);
+        let cells: Vec<Cell> = (0..12).map(|k| Some(e(k))).collect();
+        mem.try_store_span(&h, 0, &cells).unwrap();
+        assert_eq!(mem.try_load_span(&h, 0, 12).unwrap(), cells);
+        mem.try_modify_pair(&h, 0, 2, |a, b| {
+            let (x, y) = (a.get(0), b.get(0));
+            a.set(0, y);
+            b.set(0, x);
+        })
+        .unwrap();
+        let after = mem.try_load_span(&h, 0, 12).unwrap();
+        assert_eq!(after[0], Some(e(8)));
+        assert_eq!(after[8], Some(e(0)));
+    }
+
+    #[test]
+    fn try_pair_trace_matches_infallible_pair_trace() {
+        // The fallible pair op must leave the identical server-visible trace
+        // as the infallible one: read i, read j, write i, write j.
+        let mut mem = ExtMem::with_trace(4);
+        let h = BlockStore::alloc_array(&mut mem, 8);
+        mem.try_modify_pair(&h, 0, 1, |_, _| {}).unwrap();
+        let t1 = mem.take_trace().unwrap();
+        let mut mem2 = ExtMem::with_trace(4);
+        let h2 = BlockStore::alloc_array(&mut mem2, 8);
+        BlockStore::modify_pair(&mut mem2, &h2, 0, 1, |_, _| {});
+        let t2 = mem2.take_trace().unwrap();
+        assert_eq!(t1, t2);
     }
 
     #[test]

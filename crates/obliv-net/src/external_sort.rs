@@ -61,7 +61,10 @@
 use crate::bitonic::{bitonic_merge_pow2_by, bitonic_sort_pow2_by};
 use crate::compare::exchange_dir_by;
 use extmem::element::{cell_cmp_none_last, cell_cmp_none_last_desc, Cell};
-use extmem::{ArrayHandle, BlockCache, BlockStore, CacheBudget, IoStats};
+use extmem::{
+    run_fallible, ArrayHandle, BlockCache, BlockStore, CacheBudget, IoStats, RetryPolicy,
+    RetryStats, StoreError,
+};
 use std::cmp::Ordering;
 
 /// Direction of an [`external_oblivious_sort`].
@@ -115,6 +118,28 @@ pub fn external_oblivious_sort<S: BlockStore>(
             external_oblivious_sort_by(store, h, cache_elems, &cell_cmp_none_last_desc)
         }
     }
+}
+
+/// Fallible variant of [`external_oblivious_sort`] for untrusted/unreliable
+/// servers: transient faults are retried per `policy` (the retry schedule
+/// depends only on the server's fault schedule, never on the data, so traces
+/// stay data-independent), and the first permanent [`StoreError`] — a
+/// corrupted block, a rollback, exhausted retries — aborts the pass and is
+/// returned instead of panicking or producing wrong output.
+///
+/// On `Err` the contents of `h` (and of the scratch array, for non-power-of-
+/// two lengths) are unspecified; the store itself remains usable and its I/O
+/// accounting reflects every operation actually issued.
+pub fn try_external_oblivious_sort<S: BlockStore>(
+    store: &mut S,
+    h: &ArrayHandle,
+    cache_elems: usize,
+    order: SortOrder,
+    policy: RetryPolicy,
+) -> Result<(SortReport, RetryStats), StoreError> {
+    run_fallible(store, policy, |s| {
+        external_oblivious_sort(s, h, cache_elems, order)
+    })
 }
 
 /// Sorts array `h` with a custom total order on cells.

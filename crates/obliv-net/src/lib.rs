@@ -41,7 +41,8 @@ pub mod shellsort;
 pub use batcher::odd_even_merge_sort;
 pub use bitonic::{bitonic_merge_pow2_by, bitonic_network, bitonic_sort_pow2};
 pub use external_sort::{
-    external_oblivious_sort, external_oblivious_sort_by, SortOrder, SortReport,
+    external_oblivious_sort, external_oblivious_sort_by, try_external_oblivious_sort, SortOrder,
+    SortReport,
 };
 pub use network::{Comparator, Network};
 pub use shellsort::randomized_shellsort;

@@ -72,8 +72,12 @@
 //! cache) additionally requires a power-of-two block size `B`. Arrays that
 //! fit in cache accept any `B ≥ 1`.
 
+use crate::error::OdoError;
 use extmem::element::Cell;
-use extmem::{ArrayHandle, Block, BlockStore, CacheBudget, Element, IoStats};
+use extmem::{
+    run_fallible, ArrayHandle, Block, BlockStore, CacheBudget, Element, IoStats, RetryPolicy,
+    RetryStats,
+};
 use obliv_net::butterfly;
 
 /// Which way items travel through the butterfly: `Left` compacts occupied
@@ -114,6 +118,24 @@ pub struct CompactReport {
 /// `B` is not a power of two.
 pub fn compact<S: BlockStore>(store: &mut S, h: &ArrayHandle, cache_elems: usize) -> CompactReport {
     run(store, h, cache_elems, None)
+}
+
+/// Fallible variant of [`compact`] for untrusted/unreliable servers:
+/// transient faults are retried per `policy` (the retry schedule depends
+/// only on the server's fault schedule, never on the data), and the first
+/// permanent [`StoreError`](extmem::StoreError) — a corrupted block, a
+/// rollback, exhausted retries — aborts the pass and is returned as a typed
+/// [`OdoError`] instead of panicking or compacting tampered data.
+///
+/// On `Err` the contents of `h` (and of the internal scratch arrays) are
+/// unspecified; the store itself remains usable.
+pub fn try_compact<S: BlockStore>(
+    store: &mut S,
+    h: &ArrayHandle,
+    cache_elems: usize,
+    policy: RetryPolicy,
+) -> Result<(CompactReport, RetryStats), OdoError> {
+    run_fallible(store, policy, |s| compact(s, h, cache_elems)).map_err(OdoError::from)
 }
 
 /// Alias of [`compact`] emphasizing the §3 guarantee: compaction through the

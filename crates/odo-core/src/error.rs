@@ -1,0 +1,83 @@
+//! The workspace-level error type for the fallible (`try_`) primitives.
+//!
+//! The three `try_` entry points — `try_sort`, [`try_compact`] and
+//! [`try_select_kth`] — run the paper's algorithms against an untrusted or
+//! unreliable server and propagate a typed [`OdoError`] instead of
+//! panicking mid-pass: transient faults are retried by the policy, while
+//! tampering detected by
+//! [`AuthenticatedStore`](extmem::auth::AuthenticatedStore) surfaces as
+//! `OdoError::Store(Corrupted | Stale)` — never as a wrong answer.
+//!
+//! [`try_compact`]: crate::compact::try_compact
+//! [`try_select_kth`]: crate::select::try_select_kth
+
+use std::fmt;
+
+use extmem::{ConfigError, StoreError};
+
+/// Everything a fallible algorithm run can report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OdoError {
+    /// The block store failed: a transient fault survived every retry, the
+    /// server tampered with data (corruption/rollback), the client-side
+    /// budget ran out, or a payload did not fit the encrypted encoding.
+    Store(StoreError),
+    /// The `(N, B, M)` model configuration is invalid.
+    Config(ConfigError),
+}
+
+impl OdoError {
+    /// Whether the underlying failure indicates server-side tampering.
+    pub fn is_tampering(&self) -> bool {
+        matches!(self, OdoError::Store(e) if e.is_tampering())
+    }
+}
+
+impl fmt::Display for OdoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OdoError::Store(e) => write!(f, "store error: {e}"),
+            OdoError::Config(e) => write!(f, "configuration error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OdoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OdoError::Store(e) => Some(e),
+            OdoError::Config(e) => Some(e),
+        }
+    }
+}
+
+impl From<StoreError> for OdoError {
+    fn from(e: StoreError) -> Self {
+        OdoError::Store(e)
+    }
+}
+
+impl From<ConfigError> for OdoError {
+    fn from(e: ConfigError) -> Self {
+        OdoError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_errors_convert_and_classify() {
+        let e: OdoError = StoreError::Stale {
+            addr: 4,
+            expected: 3,
+            got: 1,
+        }
+        .into();
+        assert!(e.is_tampering());
+        assert!(e.to_string().contains("rollback"));
+        let t: OdoError = StoreError::Transient { addr: 0 }.into();
+        assert!(!t.is_tampering());
+    }
+}

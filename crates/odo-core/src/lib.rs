@@ -20,6 +20,14 @@
 //! With selection landed, the three headline primitives of the paper's title
 //! — compaction, selection, and sorting — all run end to end over plaintext
 //! and re-encrypting outsourced stores.
+//!
+//! The server is *untrusted*, not merely curious, so every primitive also
+//! has a fallible form for unreliable/tampering servers: [`try_sort`],
+//! [`compact::try_compact`] and [`select::try_select_kth`] retry transient
+//! faults per an [`extmem::RetryPolicy`] and propagate a typed [`OdoError`]
+//! — over an [`extmem::AuthenticatedStore`], corruption and rollback surface
+//! as `Err(Corrupted | Stale)`, never as silently wrong output. See the
+//! repo-root `DESIGN.md` for the fault model.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,25 +36,53 @@ pub use extmem;
 pub use obliv_net;
 
 pub mod compact;
+pub mod error;
 pub mod select;
 
-pub use compact::{compact_order_preserving, expand, CompactReport};
+pub use compact::{compact_order_preserving, expand, try_compact, CompactReport};
+pub use error::OdoError;
 pub use extmem::{
-    AccessEvent, AccessOp, AccessTrace, ArrayHandle, Block, BlockCache, BlockStore, CacheBudget,
-    Cell, Config, ConfigError, Element, EncryptedStore, ExtMem, IoStats,
+    AccessEvent, AccessOp, AccessTrace, ArrayHandle, AuthenticatedStore, Block, BlockCache,
+    BlockStore, CacheBudget, Cell, Config, ConfigError, Element, EncryptedStore, ExtMem, FaultKind,
+    FaultSpec, FaultStats, FaultyStore, IoStats, RetryPolicy, RetryStats, StoreError,
 };
 pub use obliv_net::{
     bitonic_sort_pow2, external_oblivious_sort, external_oblivious_sort_by, odd_even_merge_sort,
-    randomized_shellsort, Comparator, Network, SortOrder, SortReport,
+    randomized_shellsort, try_external_oblivious_sort, Comparator, Network, SortOrder, SortReport,
 };
-pub use select::{quantiles, select_kth, SelectReport, SAMPLES_PER_CHUNK};
+pub use select::{quantiles, select_kth, try_select_kth, SelectReport, SAMPLES_PER_CHUNK};
 
 /// Everything a typical caller needs, importable with one `use`.
 pub mod prelude {
-    pub use crate::compact::{compact, compact_order_preserving, expand, CompactReport};
-    pub use crate::select::{quantiles, select_kth, SelectReport};
-    pub use extmem::{BlockStore, Cell, Config, Element, EncryptedStore, ExtMem, IoStats};
-    pub use obliv_net::{external_oblivious_sort, SortOrder, SortReport};
+    pub use crate::compact::{
+        compact, compact_order_preserving, expand, try_compact, CompactReport,
+    };
+    pub use crate::error::OdoError;
+    pub use crate::select::{quantiles, select_kth, try_select_kth, SelectReport};
+    pub use crate::try_sort;
+    pub use extmem::{
+        install_quiet_abort_hook, AuthenticatedStore, BlockStore, Cell, Config, Element,
+        EncryptedStore, ExtMem, FaultSpec, FaultyStore, IoStats, RetryPolicy, RetryStats,
+        StoreError,
+    };
+    pub use obliv_net::{
+        external_oblivious_sort, try_external_oblivious_sort, SortOrder, SortReport,
+    };
+}
+
+/// Fallible variant of [`obliv_net::external_oblivious_sort`] returning the
+/// workspace-level [`OdoError`]: transient faults retried per `policy`,
+/// tampering detected by an [`AuthenticatedStore`] propagated as
+/// `Err(OdoError::Store(Corrupted | Stale))` instead of a wrong answer. See
+/// [`obliv_net::try_external_oblivious_sort`] for the store-level contract.
+pub fn try_sort<S: BlockStore>(
+    store: &mut S,
+    h: &ArrayHandle,
+    cache_elems: usize,
+    order: SortOrder,
+    policy: RetryPolicy,
+) -> Result<(SortReport, RetryStats), OdoError> {
+    try_external_oblivious_sort(store, h, cache_elems, order, policy).map_err(OdoError::from)
 }
 
 /// Sorts `items` on an outsourced store configured by `cfg` and returns the

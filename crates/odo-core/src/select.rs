@@ -79,8 +79,12 @@
 //! holds at least two full sample strides; in-cache arrays accept any
 //! `B ≥ 1`.
 
+use crate::error::OdoError;
 use extmem::element::{cell_cmp_none_last, Cell};
-use extmem::{ArrayHandle, Block, BlockStore, CacheBudget, Element, IoStats};
+use extmem::{
+    run_fallible, ArrayHandle, Block, BlockStore, CacheBudget, Element, IoStats, RetryPolicy,
+    RetryStats,
+};
 
 /// Number of weighted samples each chunk contributes per pruning round.
 ///
@@ -315,6 +319,28 @@ pub fn select_kth<S: BlockStore>(
             in_cache: false,
         },
     )
+}
+
+/// Fallible variant of [`select_kth`] for untrusted/unreliable servers:
+/// transient faults are retried per `policy` (the retry schedule depends
+/// only on the server's fault schedule, never on the data or the rank), and
+/// the first permanent [`StoreError`](extmem::StoreError) — a corrupted
+/// block, a rollback, exhausted retries — aborts the pass and is returned
+/// as a typed [`OdoError`] instead of panicking or selecting from tampered
+/// data.
+///
+/// The input array is left unmodified even on `Err` (selection works on
+/// internal scratch copies); the store remains usable.
+pub fn try_select_kth<S: BlockStore>(
+    store: &mut S,
+    h: &ArrayHandle,
+    cache_elems: usize,
+    k: usize,
+    policy: RetryPolicy,
+) -> Result<(Element, SelectReport, RetryStats), OdoError> {
+    run_fallible(store, policy, |s| select_kth(s, h, cache_elems, k))
+        .map(|((elem, report), retry)| (elem, report, retry))
+        .map_err(OdoError::from)
 }
 
 /// Computes the elements at every rank in `ranks` (each 0-based among the

@@ -121,4 +121,66 @@ fn main() {
         qio.total()
     );
     assert_eq!(qs[2], median, "the quantile sweep agrees with select_kth");
+
+    // --- tamper detection: the server is UNTRUSTED, not merely curious ---
+    // Wrap the encrypted store in a deterministic fault injector (standing in
+    // for a malicious server) and an authenticated store that MACs every
+    // block with its address and a client-tracked version. A corrupting
+    // server now yields a typed error — never silently wrong data.
+    install_quiet_abort_hook(); // tampered runs abort internally via a caught panic
+    let tamper_n = n;
+    let enc = EncryptedStore::new(b, 0xA11CE);
+    let faulty = FaultyStore::new(enc, 42, FaultSpec::none());
+    let mut auth = AuthenticatedStore::new(faulty, 0x0FEE_D4AC);
+    let data: Vec<Cell> = (0..tamper_n)
+        .map(|i| Some(Element::keyed((i as u64).wrapping_mul(0xDEF1) >> 4, i)))
+        .collect();
+    let th = BlockStore::alloc_array(&mut auth, tamper_n);
+    auth.try_store_span(&th, 0, &data).expect("honest populate");
+    auth.flush_macs().expect("honest flush");
+
+    // Bob starts flipping bits in ~0.5% of the blocks he serves.
+    auth.inner_mut().set_spec(FaultSpec {
+        corrupt_read_ppm: 5_000,
+        ..FaultSpec::none()
+    });
+    match try_sort(
+        &mut auth,
+        &th,
+        m,
+        SortOrder::Ascending,
+        RetryPolicy::default(),
+    ) {
+        Err(OdoError::Store(StoreError::Corrupted { addr })) => {
+            println!("tampering server: sort ABORTED — block {addr} failed authentication");
+        }
+        other => panic!("a corrupting server must be detected, got {other:?}"),
+    }
+
+    // A merely flaky server (transient read failures, ~2% of ops) is ridden
+    // out by the data-independent retry schedule to the exact correct result.
+    auth.inner_mut().set_spec(FaultSpec {
+        transient_read_ppm: 20_000,
+        ..FaultSpec::none()
+    });
+    let (_, retry) = try_sort(
+        &mut auth,
+        &th,
+        m,
+        SortOrder::Ascending,
+        RetryPolicy::default(),
+    )
+    .expect("transient faults are survivable");
+    auth.inner_mut().set_spec(FaultSpec::none());
+    let recovered = auth
+        .try_load_span(&th, 0, tamper_n)
+        .expect("verified read-back");
+    assert!(
+        recovered.windows(2).all(|w| w[0].unwrap() <= w[1].unwrap()),
+        "sorted despite the flaky server"
+    );
+    println!(
+        "flaky server: sort SUCCEEDED after {} retries ({} backoff units) — output verified",
+        retry.retries, retry.backoff_units
+    );
 }

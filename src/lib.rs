@@ -8,10 +8,20 @@
 //! compaction (and its reverse, expansion) in `odo-core::compact`, the §4
 //! selection and quantiles in `odo-core::select`, naive baselines in
 //! `odo-baseline`, and the I/O-count benchmark harness in `odo-bench`
-//! (binary: `odo-bench`, emitting `BENCH_sort.json`, `BENCH_compact.json`
-//! and `BENCH_select.json`).
+//! (binary: `odo-bench`, emitting `BENCH_sort.json`, `BENCH_compact.json`,
+//! `BENCH_select.json` and `BENCH_faults.json`).
 //!
-//! See `examples/quickstart.rs` for a five-line tour.
+//! The server is modeled as *untrusted*, not merely curious: wrap any store
+//! in `extmem::AuthenticatedStore` and use the fallible `try_sort` /
+//! `try_compact` / `try_select_kth` façades, and corruption or rollback by
+//! the server surfaces as a typed `Err(Corrupted | Stale)` — never as
+//! silently wrong data — while transient failures are retried on a
+//! data-independent schedule. The fault model, the store layering and the
+//! toy-crypto substitution table are documented in `DESIGN.md` at the
+//! workspace root.
+//!
+//! See `examples/quickstart.rs` for a five-line tour, including tamper
+//! detection against a corrupting server.
 
 #![forbid(unsafe_code)]
 
