@@ -17,6 +17,18 @@
 //! bitonic sort, so the speedup delivered by in-cache finishing and stride
 //! batching is measured, not assumed.
 //!
+//! Every sort point also runs the randomized **bucket oblivious sort**
+//! head-to-head (plaintext *and* encrypted, with byte-identical traces
+//! asserted), checked against the optimal-form bound
+//!
+//! ```text
+//! total I/Os  ≤  C_k · ⌈N/B⌉ · max(1, ⌈log_{M/B}(N/B)⌉)
+//! ```
+//!
+//! with `C_k =` [`BUCKET_BOUND_CONSTANT`] — the `log_{M/B}` gate, not the
+//! squared binary log. At every grid point with `N/M ≥ 4` the bench further
+//! gates that the bucket sort's I/Os are strictly below the Lemma 2 sort's.
+//!
 //! For the §3 external butterfly compaction (`odo-core::compact`) the bound
 //! checked is
 //!
@@ -45,6 +57,7 @@
 use baseline::{naive_external_bitonic_sort, naive_external_butterfly_compact, naive_select_kth};
 use extmem::element::Cell;
 use extmem::{Element, EncryptedStore, ExtMem, FaultSpec, FaultStats, IoStats};
+use obliv_net::bucket_sort::{bucket_oblivious_sort, BucketSortConfig, BucketSortReport};
 use obliv_net::external_sort::{external_oblivious_sort, SortOrder, SortReport};
 use odo_core::compact::{compact, CompactReport};
 use odo_core::select::{select_kth, SelectReport};
@@ -52,6 +65,14 @@ use std::fmt::Write as _;
 
 /// The explicit constant `C` of the checked sort I/O bound.
 pub const BOUND_CONSTANT: u64 = 4;
+
+/// The explicit constant `C_k` of the checked bucket-sort I/O bound.
+pub const BUCKET_BOUND_CONSTANT: u64 = 12;
+
+/// The fixed seed of every benchmarked bucket sort, so runs are reproducible
+/// across machines and PRs (and so a freak bucket overflow would be a
+/// deterministic, debuggable event rather than flaky CI).
+pub const BUCKET_SORT_SEED: u64 = 0x0B0C_4E75;
 
 /// The explicit constant `C_c` of the checked compaction I/O bound.
 pub const COMPACT_BOUND_CONSTANT: u64 = 32;
@@ -82,6 +103,18 @@ pub struct SortBenchResult {
     /// I/Os of the identical sort over the re-encrypting store (always equal
     /// to `optimized` — the encryption layer costs zero extra I/Os).
     pub encrypted: IoStats,
+    /// I/O statistics of the randomized bucket oblivious sort head-to-head.
+    pub bucket: IoStats,
+    /// Structural report of the bucket sort.
+    pub bucket_report: BucketSortReport,
+    /// I/Os of the bucket sort over the re-encrypting store (always equal to
+    /// `bucket`; [`run_sort_point`] additionally asserts the plaintext and
+    /// encrypted traces are byte-identical).
+    pub bucket_encrypted: IoStats,
+    /// The bucket bound `C_k · ⌈N/B⌉ · max(1, ⌈log_{M/B}(N/B)⌉)`.
+    pub bucket_bound_total: u64,
+    /// Whether the bucket sort's total I/Os satisfy its bound.
+    pub bucket_within_bound: bool,
     /// I/O statistics of the naive full-depth baseline, if it was run.
     pub naive: Option<IoStats>,
     /// Levels the naive baseline executed, if it was run.
@@ -98,6 +131,19 @@ impl SortBenchResult {
     pub fn speedup(&self) -> Option<f64> {
         self.naive
             .map(|n| n.total() as f64 / self.optimized.total().max(1) as f64)
+    }
+
+    /// Lemma-2-over-bucket I/O ratio — how many times fewer I/Os the
+    /// randomized engine pays than the deterministic one at this point.
+    pub fn bucket_speedup_vs_lemma2(&self) -> f64 {
+        self.optimized.total() as f64 / self.bucket.total().max(1) as f64
+    }
+
+    /// Whether this point is subject to the "bucket strictly beats Lemma 2"
+    /// gate (`N/M ≥ 4`; below that the randomized engine's fixed costs can
+    /// legitimately lose to the near-in-cache bitonic sort).
+    pub fn bucket_gate_applies(&self) -> bool {
+        self.point.n >= 4 * self.point.m
     }
 }
 
@@ -117,6 +163,28 @@ fn ceil_log2_ratio(n: usize, m: usize) -> u64 {
 pub fn sort_io_bound(n: usize, b: usize, m: usize) -> u64 {
     let lg = ceil_log2_ratio(n, m);
     BOUND_CONSTANT * n.div_ceil(b) as u64 * (1 + lg * lg)
+}
+
+/// `⌈log_{M/B}(N/B)⌉` computed exactly in integers: the smallest `t ≥ 1`
+/// with `(M/B)^t ≥ ⌈N/B⌉`, the base clamped to `≥ 2` so the bound is
+/// well-defined even at degenerate cache sizes.
+fn ceil_log_base_ratio(n: usize, b: usize, m: usize) -> u64 {
+    let nb = n.div_ceil(b) as u64;
+    let base = (m / b).max(2) as u64;
+    let mut t = 1u64;
+    let mut pow = base;
+    while pow < nb {
+        pow = pow.saturating_mul(base);
+        t += 1;
+    }
+    t
+}
+
+/// The bucket-sort bound with the explicit constant
+/// [`BUCKET_BOUND_CONSTANT`]: `C_k · ⌈N/B⌉ · max(1, ⌈log_{M/B}(N/B)⌉)` —
+/// the `log_{M/B}` gate of the optimal external sorting bound.
+pub fn bucket_sort_io_bound(n: usize, b: usize, m: usize) -> u64 {
+    BUCKET_BOUND_CONSTANT * n.div_ceil(b) as u64 * ceil_log_base_ratio(n, b, m)
 }
 
 /// Deterministic pseudo-random input used by every benchmark run, so results
@@ -169,6 +237,47 @@ pub fn run_sort_point(point: GridPoint, run_naive: bool) -> SortBenchResult {
         "the encryption layer must add zero I/Os to the sort"
     );
 
+    // The randomized bucket oblivious sort head-to-head, plaintext and
+    // encrypted, with the access traces captured. Both runs use the same
+    // fixed seed, so beyond equal outputs and equal I/O counts the two
+    // traces must be *byte-identical* — the encryption layer may not perturb
+    // the server-visible access pattern in any way.
+    let bcfg = BucketSortConfig::seeded(BUCKET_SORT_SEED);
+    let mut bmem = ExtMem::with_trace(b);
+    let bh = bmem.alloc_array_from_elements(&input);
+    let bucket_report = bucket_oblivious_sort(&mut bmem, &bh, m, SortOrder::Ascending, &bcfg)
+        .unwrap_or_else(|e| panic!("bucket sort failed at N={n} B={b} M={m}: {e}"));
+    assert_eq!(
+        bmem.snapshot_elements(&bh),
+        expected,
+        "bucket sort mis-sorted at N={n} B={b} M={m}"
+    );
+    let bucket = bucket_report.io;
+    let btrace = bmem.take_trace().expect("tracing was enabled");
+
+    let mut benc = EncryptedStore::new(b, 0x50F8);
+    let beh = benc.alloc_array_from_cells(&ecells);
+    benc.enable_trace();
+    let bereport = bucket_oblivious_sort(&mut benc, &beh, m, SortOrder::Ascending, &bcfg)
+        .unwrap_or_else(|e| panic!("encrypted bucket sort failed at N={n} B={b} M={m}: {e}"));
+    assert_eq!(
+        benc.snapshot_cells(&beh)
+            .into_iter()
+            .flatten()
+            .collect::<Vec<_>>(),
+        expected,
+        "encrypted bucket sort mis-sorted at N={n} B={b} M={m}"
+    );
+    assert_eq!(
+        bereport.io, bucket,
+        "the encryption layer must add zero I/Os to the bucket sort"
+    );
+    let betrace = benc.take_trace().expect("tracing was enabled");
+    assert_eq!(
+        btrace, betrace,
+        "plaintext and encrypted bucket-sort traces must be byte-identical"
+    );
+
     let (naive, naive_levels) = if run_naive {
         let mut mem = ExtMem::new(b);
         let h = mem.alloc_array_from_elements(&input);
@@ -184,11 +293,17 @@ pub fn run_sort_point(point: GridPoint, run_naive: bool) -> SortBenchResult {
     };
 
     let bound_total = sort_io_bound(n, b, m);
+    let bucket_bound_total = bucket_sort_io_bound(n, b, m);
     SortBenchResult {
         point,
         optimized,
         report,
         encrypted: ereport.io,
+        bucket,
+        bucket_report,
+        bucket_encrypted: bereport.io,
+        bucket_bound_total,
+        bucket_within_bound: bucket.total() <= bucket_bound_total,
         naive,
         naive_levels,
         bound_total,
@@ -544,6 +659,9 @@ pub fn to_json(results: &[SortBenchResult]) -> String {
     s.push_str("  \"io_model\": \"1 I/O per block read or write, ExtMem::stats\",\n");
     s.push_str("  \"bound\": \"C * ceil(N/B) * (1 + ceil(log2(ceil(N/M)))^2)\",\n");
     let _ = writeln!(s, "  \"bound_constant\": {BOUND_CONSTANT},");
+    s.push_str("  \"bucket_bound\": \"C_k * ceil(N/B) * max(1, ceil(log_{M/B}(N/B)))\",\n");
+    let _ = writeln!(s, "  \"bucket_bound_constant\": {BUCKET_BOUND_CONSTANT},");
+    let _ = writeln!(s, "  \"bucket_seed\": {BUCKET_SORT_SEED},");
     s.push_str("  \"points\": [\n");
     for (i, r) in results.iter().enumerate() {
         let GridPoint { n, b, m } = r.point;
@@ -562,6 +680,42 @@ pub fn to_json(results: &[SortBenchResult]) -> String {
             r.report.external_levels
         );
         let _ = writeln!(s, "      \"finish_passes\": {},", r.report.finish_passes);
+        let _ = writeln!(s, "      \"bucket_reads\": {},", r.bucket.reads);
+        let _ = writeln!(s, "      \"bucket_writes\": {},", r.bucket.writes);
+        let _ = writeln!(s, "      \"bucket_total\": {},", r.bucket.total());
+        let _ = writeln!(
+            s,
+            "      \"bucket_encrypted_total\": {},",
+            r.bucket_encrypted.total()
+        );
+        let _ = writeln!(s, "      \"bucket_z\": {},", r.bucket_report.z);
+        let _ = writeln!(s, "      \"bucket_levels\": {},", r.bucket_report.levels);
+        let _ = writeln!(
+            s,
+            "      \"bucket_superlevels\": {},",
+            r.bucket_report.superlevels
+        );
+        let _ = writeln!(
+            s,
+            "      \"bucket_merge_passes\": {},",
+            r.bucket_report.merge_passes
+        );
+        let _ = writeln!(s, "      \"bucket_bound_total\": {},", r.bucket_bound_total);
+        let _ = writeln!(
+            s,
+            "      \"bucket_within_bound\": {},",
+            r.bucket_within_bound
+        );
+        let _ = writeln!(
+            s,
+            "      \"bucket_speedup_vs_lemma2\": {:.2},",
+            r.bucket_speedup_vs_lemma2()
+        );
+        let _ = writeln!(
+            s,
+            "      \"bucket_gate_applies\": {},",
+            r.bucket_gate_applies()
+        );
         let _ = writeln!(s, "      \"bound_total\": {},", r.bound_total);
         match (r.naive, r.naive_levels, r.speedup()) {
             (Some(naive), Some(levels), Some(speedup)) => {
@@ -672,8 +826,8 @@ pub fn to_table(results: &[SortBenchResult]) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "{:>8} {:>4} {:>6} {:>12} {:>12} {:>12} {:>8} {:>6}",
-        "N", "B", "M", "opt I/Os", "naive I/Os", "bound", "speedup", "ok"
+        "{:>8} {:>4} {:>6} {:>12} {:>12} {:>12} {:>12} {:>8} {:>8} {:>6}",
+        "N", "B", "M", "opt I/Os", "bkt I/Os", "naive I/Os", "bkt bound", "bkt/L2", "speedup", "ok"
     );
     for r in results {
         let GridPoint { n, b, m } = r.point;
@@ -685,17 +839,22 @@ pub fn to_table(results: &[SortBenchResult]) -> String {
             .speedup()
             .map(|x| format!("{x:.2}x"))
             .unwrap_or_else(|| "-".into());
+        let ok = r.within_bound
+            && r.bucket_within_bound
+            && (!r.bucket_gate_applies() || r.bucket.total() < r.optimized.total());
         let _ = writeln!(
             s,
-            "{:>8} {:>4} {:>6} {:>12} {:>12} {:>12} {:>8} {:>6}",
+            "{:>8} {:>4} {:>6} {:>12} {:>12} {:>12} {:>12} {:>8} {:>8} {:>6}",
             n,
             b,
             m,
             r.optimized.total(),
+            r.bucket.total(),
             naive,
-            r.bound_total,
+            r.bucket_bound_total,
+            format!("{:.2}x", r.bucket_speedup_vs_lemma2()),
             speedup,
-            if r.within_bound { "yes" } else { "NO" }
+            if ok { "yes" } else { "NO" }
         );
     }
     s
@@ -1170,6 +1329,17 @@ mod tests {
     }
 
     #[test]
+    fn bucket_bound_formula_matches_hand_computation() {
+        // N = 2^18, B = 64, M = 2^13: base M/B = 128, N/B = 4096 = 128^1.71…,
+        // so the ceil log is 2: 12 * 4096 * 2 = 98,304.
+        assert_eq!(bucket_sort_io_bound(1 << 18, 64, 1 << 13), 98_304);
+        // N = 2^12, B = 64, M = 2^9: base 8, N/B = 64 = 8^2: 12 * 64 * 2.
+        assert_eq!(bucket_sort_io_bound(1 << 12, 64, 1 << 9), 12 * 64 * 2);
+        // In-cache ratio clamps to the scan term `max(1, …)`.
+        assert_eq!(bucket_sort_io_bound(1 << 10, 64, 1 << 12), 12 * 16);
+    }
+
+    #[test]
     fn grid_is_three_by_two() {
         let grid = default_grid();
         assert_eq!(grid.len(), 6);
@@ -1199,6 +1369,12 @@ mod tests {
         assert!(json.contains("\"encrypted_total\""));
         assert!(json.contains("\"speedup_vs_naive\""));
         assert!(json.contains("\"within_bound\": true"));
+        assert!(json.contains("\"bucket_bound_constant\": 12"));
+        assert_eq!(json.matches("\"bucket_total\"").count(), 2);
+        assert!(json.contains("\"bucket_encrypted_total\""));
+        assert!(json.contains("\"bucket_z\""));
+        assert!(json.contains("\"bucket_within_bound\": true"));
+        assert!(json.contains("\"bucket_speedup_vs_lemma2\""));
     }
 
     #[test]
@@ -1275,6 +1451,31 @@ mod tests {
                 "re-encryption added I/Os to the sort at N={} B={} M={}",
                 point.n, point.b, point.m
             );
+            assert!(
+                s.bucket_within_bound,
+                "bucket sort exceeded its I/O bound at N={} B={} M={}: {} > {}",
+                point.n,
+                point.b,
+                point.m,
+                s.bucket.total(),
+                s.bucket_bound_total
+            );
+            assert_eq!(
+                s.bucket_encrypted, s.bucket,
+                "re-encryption added I/Os to the bucket sort at N={} B={} M={}",
+                point.n, point.b, point.m
+            );
+            if s.bucket_gate_applies() {
+                assert!(
+                    s.bucket.total() < s.optimized.total(),
+                    "bucket sort did not beat Lemma 2 at N={} B={} M={}: {} >= {}",
+                    point.n,
+                    point.b,
+                    point.m,
+                    s.bucket.total(),
+                    s.optimized.total()
+                );
+            }
             let c = run_compact_point(point, false);
             assert!(
                 c.within_bound,

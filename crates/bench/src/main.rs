@@ -11,14 +11,27 @@
 //!   (`sort`, `compact`, `select`, `faults`, or `all`).
 //! * `cargo run --release -p odo-bench -- --smoke` — the `N = 2^12` smoke
 //!   grid: same emitters, same bound gates, cheap enough for every CI push
-//!   (JSON goes to `BENCH_*.smoke.json` so a smoke run never clobbers the
-//!   full-grid numbers).
+//!   (JSON goes to `target/BENCH_*.smoke.json`, outside the working tree's
+//!   tracked files, so a smoke run never clobbers the full-grid numbers and
+//!   never dirties a CI checkout).
 
 use odo_bench::{
     check_fault_gates, compact_to_json, compact_to_table, default_grid, faults_to_json,
     faults_to_table, run_compact_point, run_fault_grid, run_select_point, run_sort_point,
     select_to_json, select_to_table, smoke_grid, to_json, to_table, GridPoint,
 };
+
+/// Where a benchmark JSON artifact goes. Full-grid runs write the tracked
+/// `BENCH_*.json` files into the current directory (the repo root); smoke
+/// runs write `target/BENCH_*.smoke.json` so a CI checkout stays clean.
+fn artifact_path(smoke: bool, stem: &str) -> String {
+    if smoke {
+        std::fs::create_dir_all("target").expect("failed to create target/");
+        format!("target/{stem}.smoke.json")
+    } else {
+        format!("{stem}.json")
+    }
+}
 
 fn main() {
     // Tampered runs abort via a typed panic payload that `try_sort` catches
@@ -57,12 +70,8 @@ fn main() {
         }
         print!("{}", to_table(&results));
         let json = to_json(&results);
-        let path = if smoke {
-            "BENCH_sort.smoke.json"
-        } else {
-            "BENCH_sort.json"
-        };
-        std::fs::write(path, &json).expect("failed to write the sort benchmark JSON");
+        let path = artifact_path(smoke, "BENCH_sort");
+        std::fs::write(&path, &json).expect("failed to write the sort benchmark JSON");
         println!("wrote {path}");
     }
 
@@ -78,12 +87,8 @@ fn main() {
         }
         print!("{}", compact_to_table(&cresults));
         let cjson = compact_to_json(&cresults);
-        let cpath = if smoke {
-            "BENCH_compact.smoke.json"
-        } else {
-            "BENCH_compact.json"
-        };
-        std::fs::write(cpath, &cjson).expect("failed to write the compaction benchmark JSON");
+        let cpath = artifact_path(smoke, "BENCH_compact");
+        std::fs::write(&cpath, &cjson).expect("failed to write the compaction benchmark JSON");
         println!("wrote {cpath}");
     }
 
@@ -99,12 +104,8 @@ fn main() {
         }
         print!("{}", select_to_table(&sresults));
         let sjson = select_to_json(&sresults);
-        let spath = if smoke {
-            "BENCH_select.smoke.json"
-        } else {
-            "BENCH_select.json"
-        };
-        std::fs::write(spath, &sjson).expect("failed to write the selection benchmark JSON");
+        let spath = artifact_path(smoke, "BENCH_select");
+        std::fs::write(&spath, &sjson).expect("failed to write the selection benchmark JSON");
         println!("wrote {spath}");
     }
 
@@ -136,12 +137,8 @@ fn main() {
         }
         print!("{}", faults_to_table(&fresults));
         let fjson = faults_to_json(&fresults);
-        let fpath = if smoke {
-            "BENCH_faults.smoke.json"
-        } else {
-            "BENCH_faults.json"
-        };
-        std::fs::write(fpath, &fjson).expect("failed to write the fault benchmark JSON");
+        let fpath = artifact_path(smoke, "BENCH_faults");
+        std::fs::write(&fpath, &fjson).expect("failed to write the fault benchmark JSON");
         println!("wrote {fpath}");
     }
 
@@ -157,6 +154,28 @@ fn main() {
                 r.point.m,
                 r.optimized.total(),
                 r.bound_total
+            );
+            failed = true;
+        }
+        if !r.bucket_within_bound {
+            eprintln!(
+                "BUCKET BOUND VIOLATION at N={} B={} M={}: {} > {}",
+                r.point.n,
+                r.point.b,
+                r.point.m,
+                r.bucket.total(),
+                r.bucket_bound_total
+            );
+            failed = true;
+        }
+        if r.bucket_gate_applies() && r.bucket.total() >= r.optimized.total() {
+            eprintln!(
+                "BUCKET REGRESSION at N={} B={} M={} (N/M >= 4): bucket {} >= Lemma 2 {}",
+                r.point.n,
+                r.point.b,
+                r.point.m,
+                r.bucket.total(),
+                r.optimized.total()
             );
             failed = true;
         }
@@ -232,6 +251,21 @@ fn main() {
             );
             if speedup < 3.0 {
                 eprintln!("SORT HEADLINE REGRESSION: speedup {speedup:.2}x < 3x");
+                failed = true;
+            }
+            println!(
+                "bucket headline (N=2^18, B=64, M=2^13): {} I/Os vs Lemma 2 {} — {:.2}x fewer, bound {}",
+                r.bucket.total(),
+                r.optimized.total(),
+                r.bucket_speedup_vs_lemma2(),
+                r.bucket_bound_total
+            );
+            if r.bucket.total() >= r.optimized.total() {
+                eprintln!(
+                    "BUCKET HEADLINE REGRESSION: bucket {} >= Lemma 2 {}",
+                    r.bucket.total(),
+                    r.optimized.total()
+                );
                 failed = true;
             }
         }

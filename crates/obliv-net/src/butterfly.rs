@@ -42,6 +42,46 @@ impl std::fmt::Display for RoutingCollision {
 
 impl std::error::Error for RoutingCollision {}
 
+/// Everything that can be wrong with a label table handed to the routing
+/// functions. A table read back from an *untrusted* store can be arbitrary
+/// garbage even when each block individually looked plausible (e.g. a
+/// corrupted-but-MAC-passing window), so the fallible entry points
+/// ([`try_route_with_labels`], [`try_render_labels`]) classify every
+/// inconsistency as a typed error instead of panicking mid-route.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoutingError {
+    /// Two occupied cells routed to the same internal cell.
+    Collision(RoutingCollision),
+    /// The label table does not describe a valid routing: a label without an
+    /// item (or vice versa), a label that would move an item past cell 0, or
+    /// leftover distance after the last level.
+    MalformedLabels {
+        /// The cell at which the inconsistency was detected.
+        cell: usize,
+        /// What was inconsistent about it.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoutingError::Collision(c) => c.fmt(f),
+            RoutingError::MalformedLabels { cell, reason } => {
+                write!(f, "malformed label table at cell {cell}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoutingError {}
+
+impl From<RoutingCollision> for RoutingError {
+    fn from(c: RoutingCollision) -> Self {
+        RoutingError::Collision(c)
+    }
+}
+
 /// Number of routing levels for an `n`-cell network (`⌈log2 n⌉`).
 pub fn levels(n: usize) -> usize {
     if n <= 1 {
@@ -78,23 +118,53 @@ pub fn route_with_labels<T: Clone>(
     cells: &[Option<T>],
     labels: &[Option<usize>],
 ) -> Result<Vec<Option<T>>, RoutingCollision> {
+    match try_route_with_labels(cells, labels) {
+        Ok(out) => Ok(out),
+        Err(RoutingError::Collision(c)) => Err(c),
+        Err(RoutingError::MalformedLabels { cell, reason }) => {
+            if reason.contains("past cell 0") {
+                panic!("distance label may not move an item past cell 0")
+            }
+            panic!("labels and occupancy must agree at cell {cell}")
+        }
+    }
+}
+
+/// Fully fallible form of [`route_with_labels`]: *every* inconsistency in the
+/// label table — occupancy mismatches, out-of-range labels, collisions,
+/// unconsumed distance — is returned as a typed [`RoutingError`] instead of
+/// panicking. This is the entry point to use when the labels were read back
+/// from an untrusted store: a tampered (but individually plausible-looking)
+/// table surfaces as `Err`, never as a panic or a silent mis-route.
+pub fn try_route_with_labels<T: Clone>(
+    cells: &[Option<T>],
+    labels: &[Option<usize>],
+) -> Result<Vec<Option<T>>, RoutingError> {
     assert_eq!(cells.len(), labels.len(), "one label per cell");
     let n = cells.len();
     let lv = levels(n);
     // Current level state: (item, remaining distance).
-    let mut cur: Vec<Option<(T, usize)>> = cells
-        .iter()
-        .zip(labels.iter())
-        .enumerate()
-        .map(|(j, (c, l))| match (c, l) {
+    let mut cur: Vec<Option<(T, usize)>> = Vec::with_capacity(n);
+    for (j, (c, l)) in cells.iter().zip(labels.iter()).enumerate() {
+        cur.push(match (c, l) {
             (Some(item), Some(d)) => {
-                assert!(*d <= j, "distance label may not move an item past cell 0");
+                if *d > j {
+                    return Err(RoutingError::MalformedLabels {
+                        cell: j,
+                        reason: "distance label may not move an item past cell 0",
+                    });
+                }
                 Some((item.clone(), *d))
             }
             (None, None) => None,
-            _ => panic!("labels and occupancy must agree at cell {j}"),
-        })
-        .collect();
+            _ => {
+                return Err(RoutingError::MalformedLabels {
+                    cell: j,
+                    reason: "labels and occupancy must agree",
+                })
+            }
+        });
+    }
 
     for i in 0..lv {
         let mut next: Vec<Option<(T, usize)>> = vec![None; n];
@@ -107,25 +177,27 @@ pub fn route_with_labels<T: Clone>(
                 let dest = j - hop;
                 let nd = d - hop;
                 if next[dest].is_some() {
-                    return Err(RoutingCollision {
+                    return Err(RoutingError::Collision(RoutingCollision {
                         level: i + 1,
                         cell: dest,
-                    });
+                    }));
                 }
                 next[dest] = Some((item, nd));
             }
         }
         cur = next;
     }
-    Ok(cur
-        .into_iter()
-        .map(|slot| {
-            slot.map(|(item, d)| {
-                debug_assert_eq!(d, 0, "all distance must be consumed by the last level");
-                item
-            })
+    cur.into_iter()
+        .enumerate()
+        .map(|(j, slot)| match slot {
+            Some((item, 0)) => Ok(Some(item)),
+            Some((_, _)) => Err(RoutingError::MalformedLabels {
+                cell: j,
+                reason: "distance not consumed by the last level",
+            }),
+            None => Ok(None),
         })
-        .collect())
+        .collect()
 }
 
 /// Stable tight compaction of `cells` through the butterfly network: occupied
@@ -206,10 +278,30 @@ pub fn expand<T: Clone>(cells: &[Option<T>], targets: &[usize]) -> Vec<Option<T>
 /// the style of the paper's Figure 1: one row per level, occupied cells show
 /// their remaining distance, empty cells show `·`.
 pub fn render_labels<T: Clone>(cells: &[Option<T>], labels: &[Option<usize>]) -> String {
+    try_render_labels(cells, labels).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`render_labels`] for label tables of untrusted origin:
+/// a table whose occupancy and labels disagree, whose labels run past cell 0,
+/// or whose routing collides yields a typed [`RoutingError`] instead of a
+/// panic mid-render.
+pub fn try_render_labels<T: Clone>(
+    cells: &[Option<T>],
+    labels: &[Option<usize>],
+) -> Result<String, RoutingError> {
+    assert_eq!(cells.len(), labels.len(), "one label per cell");
     let n = cells.len();
     let lv = levels(n);
     let mut cur: Vec<Option<usize>> = labels.to_vec();
     let mut occupied: Vec<bool> = cells.iter().map(|c| c.is_some()).collect();
+    for (j, (occ, lab)) in occupied.iter().zip(cur.iter()).enumerate() {
+        if *occ != lab.is_some() {
+            return Err(RoutingError::MalformedLabels {
+                cell: j,
+                reason: "labels and occupancy must agree",
+            });
+        }
+    }
     let mut out = String::new();
     for i in 0..=lv {
         out.push_str(&format!("L{i:<2} "));
@@ -230,9 +322,24 @@ pub fn render_labels<T: Clone>(cells: &[Option<T>], labels: &[Option<usize>]) ->
         let mut next_lab: Vec<Option<usize>> = vec![None; n];
         for j in 0..n {
             if occupied[j] {
-                let d = cur[j].unwrap();
+                let d = cur[j].ok_or(RoutingError::MalformedLabels {
+                    cell: j,
+                    reason: "labels and occupancy must agree",
+                })?;
                 let hop = d % modulus;
+                if hop > j {
+                    return Err(RoutingError::MalformedLabels {
+                        cell: j,
+                        reason: "distance label may not move an item past cell 0",
+                    });
+                }
                 let dest = j - hop;
+                if next_occ[dest] {
+                    return Err(RoutingError::Collision(RoutingCollision {
+                        level: i + 1,
+                        cell: dest,
+                    }));
+                }
                 next_occ[dest] = true;
                 next_lab[dest] = Some(d - hop);
             }
@@ -240,7 +347,7 @@ pub fn render_labels<T: Clone>(cells: &[Option<T>], labels: &[Option<usize>]) ->
         occupied = next_occ;
         cur = next_lab;
     }
-    out
+    Ok(out)
 }
 
 /// Reproduces the instance drawn in the paper's Figure 1: a 16-cell level
@@ -400,5 +507,87 @@ mod tests {
         let rows: Vec<&str> = s.lines().collect();
         assert_eq!(rows.len(), levels(cells.len()) + 1);
         assert!(rows[0].starts_with("L0"));
+    }
+
+    #[test]
+    fn try_route_classifies_every_malformed_table_as_err() {
+        // Label without an item.
+        let cells: Vec<Option<u32>> = vec![None, Some(1), None, None];
+        let labels = vec![Some(0usize), Some(1), None, None];
+        assert_eq!(
+            try_route_with_labels(&cells, &labels),
+            Err(RoutingError::MalformedLabels {
+                cell: 0,
+                reason: "labels and occupancy must agree",
+            })
+        );
+        // Item without a label.
+        let cells: Vec<Option<u32>> = vec![Some(1), Some(2), None, None];
+        let labels = vec![Some(0usize), None, None, None];
+        assert!(matches!(
+            try_route_with_labels(&cells, &labels),
+            Err(RoutingError::MalformedLabels { cell: 1, .. })
+        ));
+        // Label running past cell 0.
+        let cells: Vec<Option<u32>> = vec![None, Some(1), None, None];
+        let labels = vec![None, Some(3usize), None, None];
+        assert!(matches!(
+            try_route_with_labels(&cells, &labels),
+            Err(RoutingError::MalformedLabels {
+                cell: 1,
+                reason: "distance label may not move an item past cell 0",
+            })
+        ));
+        // Collision is still reported as a collision.
+        let cells = vec![Some(1u32), Some(2), None, None];
+        let labels = vec![Some(0usize), Some(1), None, None];
+        assert_eq!(
+            try_route_with_labels(&cells, &labels),
+            Err(RoutingError::Collision(RoutingCollision {
+                level: 1,
+                cell: 0
+            }))
+        );
+        // A valid table still routes.
+        let cells = vec![None, Some(7u32), None, Some(8)];
+        let labels = compaction_labels(&cells);
+        assert_eq!(
+            try_route_with_labels(&cells, &labels).unwrap(),
+            vec![Some(7), Some(8), None, None]
+        );
+    }
+
+    #[test]
+    fn try_render_rejects_malformed_tables_instead_of_panicking() {
+        // The exact shape that used to hit the bare unwrap on the first
+        // level walk: occupancy says occupied, labels say dummy.
+        let cells: Vec<Option<u32>> = vec![None, Some(1), Some(2), None];
+        let labels = vec![None, Some(1usize), None, None]; // cell 2 lies
+        let err = try_render_labels(&cells, &labels).unwrap_err();
+        assert!(matches!(err, RoutingError::MalformedLabels { cell: 2, .. }));
+        // Colliding labels surface as a collision, not a silent merge.
+        let cells: Vec<Option<u32>> = vec![Some(1), Some(2), None, None];
+        let labels = vec![Some(0usize), Some(1), None, None];
+        assert_eq!(
+            try_render_labels(&cells, &labels),
+            Err(RoutingError::Collision(RoutingCollision {
+                level: 1,
+                cell: 0
+            }))
+        );
+        // Valid tables render exactly as before.
+        let (cells, labels) = figure1_example();
+        assert_eq!(
+            try_render_labels(&cells, &labels).unwrap(),
+            render_labels(&cells, &labels)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "labels and occupancy must agree at cell 1")]
+    fn infallible_route_keeps_the_legacy_panic_message() {
+        let cells: Vec<Option<u32>> = vec![Some(1), Some(2), None, None];
+        let labels = vec![Some(0usize), None, None, None];
+        let _ = route_with_labels(&cells, &labels);
     }
 }

@@ -22,16 +22,23 @@
 //!   data-oblivious external-memory sort costing
 //!   `O((N/B)(1 + log²(N/M)))` I/Os, implemented as an external bitonic sort
 //!   whose small sub-problems are finished inside the private cache.
+//! * [`bucket_sort`] — the randomized *Bucket Oblivious Sort* route: butterfly
+//!   routing of `Z`-capacity buckets via the 2-way [`merge_split`] primitive
+//!   plus an `M/B`-way run merge, costing `O((N/B)·log_{M/B}(N/B))` I/Os —
+//!   beating the Lemma 2 squared log whenever `N ≫ M`.
 //!
-//! Everything here is deterministic: on any two inputs of the same size the
-//! sequence of element positions touched — and for the external sort, the
-//! sequence of block addresses — is identical.
+//! Everything except [`bucket_sort`] is deterministic: on any two inputs of
+//! the same size the sequence of element positions touched — and for the
+//! external sort, the sequence of block addresses — is identical. The bucket
+//! sort's trace is a deterministic function of `(shape, seed, data)`; see its
+//! module docs for the random-shuffle obliviousness argument.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batcher;
 pub mod bitonic;
+pub mod bucket_sort;
 pub mod butterfly;
 pub mod compare;
 pub mod external_sort;
@@ -40,6 +47,10 @@ pub mod shellsort;
 
 pub use batcher::odd_even_merge_sort;
 pub use bitonic::{bitonic_merge_pow2_by, bitonic_network, bitonic_sort_pow2};
+pub use bucket_sort::{
+    bucket_oblivious_sort, bucket_oblivious_sort_by, merge_split, try_bucket_oblivious_sort,
+    BucketSortConfig, BucketSortError, BucketSortReport, MergeSplitOverflow,
+};
 pub use external_sort::{
     external_oblivious_sort, external_oblivious_sort_by, try_external_oblivious_sort, SortOrder,
     SortReport,

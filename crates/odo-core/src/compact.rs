@@ -115,9 +115,10 @@ pub struct CompactReport {
 ///
 /// # Panics
 /// Panics if `cache_elems < 8·B`, or if the array does not fit in cache and
-/// `B` is not a power of two.
+/// `B` is not a power of two. The fallible path ([`try_compact`]) reports
+/// the same conditions as [`OdoError::InvalidArgument`] instead.
 pub fn compact<S: BlockStore>(store: &mut S, h: &ArrayHandle, cache_elems: usize) -> CompactReport {
-    run(store, h, cache_elems, None)
+    run(store, h, cache_elems, None).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Fallible variant of [`compact`] for untrusted/unreliable servers:
@@ -125,7 +126,12 @@ pub fn compact<S: BlockStore>(store: &mut S, h: &ArrayHandle, cache_elems: usize
 /// only on the server's fault schedule, never on the data), and the first
 /// permanent [`StoreError`](extmem::StoreError) — a corrupted block, a
 /// rollback, exhausted retries — aborts the pass and is returned as a typed
-/// [`OdoError`] instead of panicking or compacting tampered data.
+/// [`OdoError`] instead of panicking or compacting tampered data. Argument
+/// validation (cache too small, non-power-of-two blocks) also returns
+/// [`OdoError::InvalidArgument`] here, where the infallible [`compact`]
+/// panics; routing state that disagrees with itself — the symptom of a
+/// corrupted but unauthenticated store — surfaces as
+/// [`OdoError::CorruptedRouting`].
 ///
 /// On `Err` the contents of `h` (and of the internal scratch arrays) are
 /// unspecified; the store itself remains usable.
@@ -135,7 +141,9 @@ pub fn try_compact<S: BlockStore>(
     cache_elems: usize,
     policy: RetryPolicy,
 ) -> Result<(CompactReport, RetryStats), OdoError> {
-    run_fallible(store, policy, |s| compact(s, h, cache_elems)).map_err(OdoError::from)
+    let (inner, retries) =
+        run_fallible(store, policy, |s| run(s, h, cache_elems, None)).map_err(OdoError::from)?;
+    Ok((inner?, retries))
 }
 
 /// Alias of [`compact`] emphasizing the §3 guarantee: compaction through the
@@ -162,35 +170,71 @@ pub fn compact_order_preserving<S: BlockStore>(
 /// # Panics
 /// Panics on malformed targets, on a prefix/occupancy mismatch, if
 /// `cache_elems < 8·B`, or if the array does not fit in cache and `B` is not
-/// a power of two.
+/// a power of two. The fallible path ([`try_expand`]) reports the same
+/// conditions as [`OdoError::InvalidArgument`] instead.
 pub fn expand<S: BlockStore>(
     store: &mut S,
     h: &ArrayHandle,
     targets: &[usize],
     cache_elems: usize,
 ) -> CompactReport {
-    for w in targets.windows(2) {
-        assert!(w[0] < w[1], "expansion targets must be strictly increasing");
-    }
-    if let Some(&last) = targets.last() {
-        assert!(last < h.len(), "expansion target out of range");
-    }
-    run(store, h, cache_elems, Some(targets))
+    run(store, h, cache_elems, Some(targets)).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`expand`], mirroring [`try_compact`]: transient
+/// faults retry per `policy`, tampering surfaces as a typed
+/// [`OdoError`], and every condition that makes [`expand`] panic —
+/// non-monotone or out-of-range targets, a prefix/occupancy mismatch, a
+/// too-small cache, a non-power-of-two block size on the external path —
+/// returns [`OdoError::InvalidArgument`] instead.
+///
+/// On `Err` the contents of `h` (and of the internal scratch arrays) are
+/// unspecified; the store itself remains usable.
+pub fn try_expand<S: BlockStore>(
+    store: &mut S,
+    h: &ArrayHandle,
+    targets: &[usize],
+    cache_elems: usize,
+    policy: RetryPolicy,
+) -> Result<(CompactReport, RetryStats), OdoError> {
+    let (inner, retries) = run_fallible(store, policy, |s| run(s, h, cache_elems, Some(targets)))
+        .map_err(OdoError::from)?;
+    Ok((inner?, retries))
 }
 
 /// Shared driver: `targets == None` compacts leftward, `Some` expands
-/// rightward.
+/// rightward. All validation returns [`OdoError::InvalidArgument`] and every
+/// self-inconsistent routing state returns [`OdoError::CorruptedRouting`];
+/// the infallible façades panic with the error's `Display`, which preserves
+/// the historical assert messages.
 fn run<S: BlockStore>(
     store: &mut S,
     h: &ArrayHandle,
     cache_elems: usize,
     targets: Option<&[usize]>,
-) -> CompactReport {
+) -> Result<CompactReport, OdoError> {
+    if let Some(t) = targets {
+        for w in t.windows(2) {
+            if w[0] >= w[1] {
+                return Err(OdoError::InvalidArgument {
+                    reason: "expansion targets must be strictly increasing",
+                });
+            }
+        }
+        if let Some(&last) = t.last() {
+            if last >= h.len() {
+                return Err(OdoError::InvalidArgument {
+                    reason: "expansion target out of range",
+                });
+            }
+        }
+    }
     let b = h.block_elems();
-    assert!(
-        cache_elems >= 8 * b,
-        "butterfly compaction needs a private cache of at least eight blocks (M >= 8B)"
-    );
+    if cache_elems < 8 * b {
+        return Err(OdoError::InvalidArgument {
+            reason: "butterfly compaction needs a private cache of at least eight blocks (M >= 8B)",
+        });
+    }
     let start = store.io_stats();
     let n = h.len();
     let lv = butterfly::levels(n);
@@ -204,35 +248,36 @@ fn run<S: BlockStore>(
     // Whole array fits in the private cache: one read pass, route CPU-side,
     // one write pass — the fully collapsed form of the window sweep.
     if n <= cache_elems {
-        let mut occupied = 0;
-        budget.with(n.max(1), |_| {
+        let occupied = budget.with(n.max(1), |_| -> Result<usize, OdoError> {
             let mut cells = store.load_span(h, 0, n);
-            occupied = match targets {
+            let occupied = match targets {
                 None => pack_prefix_in_place(&mut cells),
-                Some(t) => route_to_targets_in_place(&mut cells, t),
+                Some(t) => route_to_targets_in_place(&mut cells, t)?,
             };
             store.store_span(h, 0, &cells);
-        });
-        return CompactReport {
+            Ok(occupied)
+        })?;
+        return Ok(CompactReport {
             io: store.io_stats() - start,
             levels: lv,
             in_cache_levels: lv,
             external_levels: 0,
             window_elems: n.max(1),
             occupied,
-        };
+        });
     }
 
-    assert!(
-        b.is_power_of_two(),
-        "external butterfly compaction requires a power-of-two block size"
-    );
+    if !b.is_power_of_two() {
+        return Err(OdoError::InvalidArgument {
+            reason: "external butterfly compaction requires a power-of-two block size",
+        });
+    }
 
     // Phase 1 — oblivious prefix-rank label pass into a parallel scratch
     // array: occupied cell j gets distance label j - rank(j) (or, expanding,
     // targets[j] - j), empty cells get a dummy.
     let dist = store.alloc_array(n);
-    let occupied = write_labels(store, h, &dist, &mut budget, targets);
+    let occupied = write_labels(store, h, &dist, &mut budget, targets)?;
 
     // Phases 2 and 3 — the window sweep composes every level with stride
     // < W into a single move by (d mod W); the levels with stride 2^i ≥ W
@@ -247,32 +292,32 @@ fn run<S: BlockStore>(
     match dir {
         Direction::Left => {
             if t > 0 {
-                window_pass(store, h, &dist, &mut budget, w, dir);
+                window_pass(store, h, &dist, &mut budget, w, dir)?;
             }
             for i in t..lv {
-                external_level(store, h, &dist, &mut budget, 1usize << i, dir);
+                external_level(store, h, &dist, &mut budget, 1usize << i, dir)?;
                 external += 1;
             }
         }
         Direction::Right => {
             for i in (t..lv).rev() {
-                external_level(store, h, &dist, &mut budget, 1usize << i, dir);
+                external_level(store, h, &dist, &mut budget, 1usize << i, dir)?;
                 external += 1;
             }
             if t > 0 {
-                window_pass(store, h, &dist, &mut budget, w, dir);
+                window_pass(store, h, &dist, &mut budget, w, dir)?;
             }
         }
     }
 
-    CompactReport {
+    Ok(CompactReport {
         io: store.io_stats() - start,
         levels: lv,
         in_cache_levels: t.min(lv),
         external_levels: external,
         window_elems: w,
         occupied,
-    }
+    })
 }
 
 /// Largest power-of-two window `W` such that the sweep's worst-case working
@@ -302,19 +347,18 @@ fn pack_prefix_in_place(cells: &mut [Cell]) -> usize {
 
 /// In-place expansion of a compact prefix to `targets`; returns the routed
 /// count. Walks backwards so a target never overwrites an unmoved source.
-fn route_to_targets_in_place(cells: &mut [Cell], targets: &[usize]) -> usize {
+fn route_to_targets_in_place(cells: &mut [Cell], targets: &[usize]) -> Result<usize, OdoError> {
     let r = targets.len();
     for (i, c) in cells.iter().enumerate() {
-        if i < r {
-            assert!(
-                c.is_some(),
-                "expand expects an occupied prefix of length targets.len()"
-            );
-        } else {
-            assert!(
-                c.is_none(),
-                "expand expects dummies after the occupied prefix"
-            );
+        if i < r && c.is_none() {
+            return Err(OdoError::InvalidArgument {
+                reason: "expand expects an occupied prefix of length targets.len()",
+            });
+        }
+        if i >= r && c.is_some() {
+            return Err(OdoError::InvalidArgument {
+                reason: "expand expects dummies after the occupied prefix",
+            });
         }
     }
     for i in (0..r).rev() {
@@ -322,7 +366,7 @@ fn route_to_targets_in_place(cells: &mut [Cell], targets: &[usize]) -> usize {
         debug_assert!(cells[targets[i]].is_none(), "targets are distinct and >= i");
         cells[targets[i]] = Some(item);
     }
-    r
+    Ok(r)
 }
 
 /// Phase 1: streams the data array block by block, writing the distance
@@ -337,12 +381,12 @@ fn write_labels<S: BlockStore>(
     dist: &ArrayHandle,
     budget: &mut CacheBudget,
     targets: Option<&[usize]>,
-) -> usize {
+) -> Result<usize, OdoError> {
     let b = data.block_elems();
     let n = data.len();
     let mut rank = 0usize;
     for beta in 0..data.n_blocks() {
-        budget.with(2 * b, |_| {
+        budget.with(2 * b, |_| -> Result<(), OdoError> {
             let blk = store.load_block(data, beta);
             let mut lab = Block::empty(b);
             for r in 0..b {
@@ -359,26 +403,28 @@ fn write_labels<S: BlockStore>(
                     }
                     Some(t) => {
                         if j < t.len() {
-                            assert!(
-                                blk.get(r).is_some(),
-                                "expand expects an occupied prefix of length targets.len()"
-                            );
+                            if blk.get(r).is_none() {
+                                return Err(OdoError::InvalidArgument {
+                                    reason:
+                                        "expand expects an occupied prefix of length targets.len()",
+                                });
+                            }
                             // Strictly increasing targets imply t[j] >= j.
                             lab.set(r, Some(Element::new((t[j] - j) as u64, 0)));
                             rank += 1;
-                        } else {
-                            assert!(
-                                blk.get(r).is_none(),
-                                "expand expects dummies after the occupied prefix"
-                            );
+                        } else if blk.get(r).is_some() {
+                            return Err(OdoError::InvalidArgument {
+                                reason: "expand expects dummies after the occupied prefix",
+                            });
                         }
                     }
                 }
             }
             store.store_block(dist, beta, lab);
-        });
+            Ok(())
+        })?;
     }
-    rank
+    Ok(rank)
 }
 
 /// Phase 2: the sliding-window sweep. Executes every level with stride
@@ -396,7 +442,7 @@ fn window_pass<S: BlockStore>(
     budget: &mut CacheBudget,
     w: usize,
     dir: Direction,
-) {
+) -> Result<(), OdoError> {
     let n = data.len();
     let regions = n.div_ceil(w);
     // Items in flight between windows: (global target, item, remaining dist).
@@ -421,13 +467,25 @@ fn window_pass<S: BlockStore>(
         let mut outgoing: Vec<(usize, Element, u64)> = Vec::new();
         for r in scan {
             if let Some(item) = cells[r] {
-                let d = dists[r].expect("occupied cells carry a distance label").key;
+                let d = dists[r]
+                    .ok_or(OdoError::CorruptedRouting {
+                        reason: "occupied cells carry a distance label",
+                        cell: lo + r,
+                    })?
+                    .key;
                 let delta = (d as usize) % w;
                 if delta == 0 {
                     continue;
                 }
                 let target = match dir {
-                    Direction::Left => lo + r - delta,
+                    Direction::Left => {
+                        (lo + r)
+                            .checked_sub(delta)
+                            .ok_or(OdoError::CorruptedRouting {
+                                reason: "a distance label may not route an item before cell 0",
+                                cell: lo + r,
+                            })?
+                    }
                     Direction::Right => lo + r + delta,
                 };
                 let nd = d - delta as u64;
@@ -438,7 +496,7 @@ fn window_pass<S: BlockStore>(
                     // opposite to the travel direction), so its final
                     // occupant — if any — is already in place: a collision
                     // here means the labels were invalid (Lemma 5).
-                    place(&mut cells, &mut dists, target - lo, item, nd);
+                    place(&mut cells, &mut dists, target - lo, lo, item, nd)?;
                 } else {
                     outgoing.push((target, item, nd));
                 }
@@ -449,23 +507,39 @@ fn window_pass<S: BlockStore>(
                 (lo..hi).contains(&target),
                 "carried items travel exactly one window"
             );
-            place(&mut cells, &mut dists, target - lo, item, nd);
+            place(&mut cells, &mut dists, target - lo, lo, item, nd)?;
         }
         carry = outgoing;
         store.store_span(data, lo, &cells);
         store.store_span(dist, lo, &dists);
         budget.release(2 * len + 4 * w);
     }
-    assert!(carry.is_empty(), "no item may be routed out of the array");
+    if let Some(&(target, _, _)) = carry.first() {
+        return Err(OdoError::CorruptedRouting {
+            reason: "no item may be routed out of the array",
+            cell: target,
+        });
+    }
+    Ok(())
 }
 
-fn place(cells: &mut [Cell], dists: &mut [Cell], idx: usize, item: Element, nd: u64) {
-    assert!(
-        cells[idx].is_none(),
-        "butterfly routing collision: two items at one cell (invalid distance labels)"
-    );
+fn place(
+    cells: &mut [Cell],
+    dists: &mut [Cell],
+    idx: usize,
+    base: usize,
+    item: Element,
+    nd: u64,
+) -> Result<(), OdoError> {
+    if cells[idx].is_some() {
+        return Err(OdoError::CorruptedRouting {
+            reason: "butterfly routing collision: two items at one cell (invalid distance labels)",
+            cell: base + idx,
+        });
+    }
     cells[idx] = Some(item);
     dists[idx] = Some(Element::new(nd, 0));
+    Ok(())
 }
 
 /// Phase 3: one external level of stride `s` (`B | s`). Every wire pair
@@ -484,21 +558,24 @@ fn external_level<S: BlockStore>(
     budget: &mut CacheBudget,
     s: usize,
     dir: Direction,
-) {
+) -> Result<(), OdoError> {
     let b = data.block_elems();
     let nb = data.n_blocks();
     debug_assert!(s.is_multiple_of(b), "external strides are block-aligned");
     let k = s / b;
     if k >= nb {
-        return; // no wire of this stride fits the array (shape-determined)
+        return Ok(()); // no wire of this stride fits the array (shape-determined)
     }
     let betas: Box<dyn Iterator<Item = usize>> = match dir {
         Direction::Left => Box::new(0..nb - k),
         Direction::Right => Box::new((0..nb - k).rev()),
     };
     for beta in betas {
-        // Offsets hopping across this pair; B bits of private scratch.
+        // Offsets hopping across this pair; B bits of private scratch. The
+        // collision check runs inside the `modify_pair` closure, so a
+        // conflict is recorded here and surfaced after the round trip.
         let mut mask = vec![false; b];
+        let mut collision: Option<usize> = None;
         budget.with(2 * b, |_| {
             store.modify_pair(dist, beta, beta + k, |lo_blk, hi_blk| {
                 for (r, hop) in mask.iter_mut().enumerate() {
@@ -508,10 +585,14 @@ fn external_level<S: BlockStore>(
                     };
                     if let Some(d_el) = src {
                         if d_el.key & s as u64 != 0 {
-                            assert!(
-                                dst.is_none(),
-                                "butterfly routing collision at an external level"
-                            );
+                            if dst.is_some() {
+                                let dst_beta = match dir {
+                                    Direction::Left => beta,
+                                    Direction::Right => beta + k,
+                                };
+                                collision.get_or_insert(dst_beta * b + r);
+                                continue;
+                            }
                             *hop = true;
                             let nd = Some(Element::new(d_el.key - s as u64, 0));
                             match dir {
@@ -529,6 +610,12 @@ fn external_level<S: BlockStore>(
                 }
             });
         });
+        if let Some(cell) = collision {
+            return Err(OdoError::CorruptedRouting {
+                reason: "butterfly routing collision at an external level",
+                cell,
+            });
+        }
         budget.with(2 * b, |_| {
             store.modify_pair(data, beta, beta + k, |lo_blk, hi_blk| {
                 for (r, hop) in mask.iter().enumerate() {
@@ -550,6 +637,7 @@ fn external_level<S: BlockStore>(
             });
         });
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -744,6 +832,87 @@ mod tests {
         assert_eq!(report.window_elems, 8);
         assert_eq!(report.in_cache_levels, 3);
         assert_eq!(report.external_levels, 7);
+    }
+
+    #[test]
+    fn try_compact_reports_argument_failures_as_errors() {
+        // A cache below 8 blocks: the infallible path panics, the fallible
+        // path must return a typed error with the same message.
+        let mut mem = ExtMem::new(8);
+        let h = mem.alloc_array(64);
+        let err = try_compact(&mut mem, &h, 32, RetryPolicy::default()).unwrap_err();
+        assert!(matches!(err, OdoError::InvalidArgument { .. }));
+        assert!(err.to_string().contains("at least eight blocks"));
+        assert!(!err.is_tampering());
+
+        // Non-power-of-two blocks on the external path.
+        let mut mem = ExtMem::new(6);
+        let h = mem.alloc_array(600);
+        let err = try_compact(&mut mem, &h, 48, RetryPolicy::default()).unwrap_err();
+        assert!(matches!(err, OdoError::InvalidArgument { .. }));
+        assert!(err.to_string().contains("power-of-two block size"));
+    }
+
+    #[test]
+    fn try_expand_reports_each_former_panic_as_an_error() {
+        // Non-monotone targets.
+        let mut mem = ExtMem::new(4);
+        let h = mem.alloc_array(16);
+        let err = try_expand(&mut mem, &h, &[2, 1], 16, RetryPolicy::default()).unwrap_err();
+        assert!(matches!(err, OdoError::InvalidArgument { .. }));
+        assert!(err.to_string().contains("strictly increasing"));
+
+        // A target beyond the end of the array.
+        let err = try_expand(&mut mem, &h, &[15, 16], 16, RetryPolicy::default()).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+
+        // Tiny cache.
+        let err = try_expand(&mut mem, &h, &[0, 1], 8, RetryPolicy::default()).unwrap_err();
+        assert!(err.to_string().contains("at least eight blocks"));
+
+        // A dummy inside the claimed prefix, in-cache path.
+        let cells: Vec<Cell> = vec![Some(e(1)), None, Some(e(2)), None];
+        let mut mem = ExtMem::new(2);
+        let h = mem.alloc_array_from_cells(&cells);
+        let err = try_expand(&mut mem, &h, &[1, 2, 3], 64, RetryPolicy::default()).unwrap_err();
+        assert!(err.to_string().contains("occupied prefix of length"));
+
+        // An occupied cell after the prefix, in-cache path.
+        let err = try_expand(&mut mem, &h, &[3], 64, RetryPolicy::default()).unwrap_err();
+        assert!(err
+            .to_string()
+            .contains("dummies after the occupied prefix"));
+
+        // The same two mismatches through the external label pass.
+        let mut cells: Vec<Cell> = vec![None; 512];
+        cells[0] = Some(e(0));
+        cells[300] = Some(e(1));
+        let mut mem = ExtMem::new(8);
+        let h = mem.alloc_array_from_cells(&cells);
+        let err = try_expand(&mut mem, &h, &[5, 9, 200], 64, RetryPolicy::default()).unwrap_err();
+        assert!(err.to_string().contains("occupied prefix of length"));
+        let err = try_expand(&mut mem, &h, &[5], 64, RetryPolicy::default()).unwrap_err();
+        assert!(err
+            .to_string()
+            .contains("dummies after the occupied prefix"));
+    }
+
+    #[test]
+    fn try_expand_round_trips_like_expand() {
+        let cells = occupancy(256, 9, 1, 3);
+        let targets: Vec<usize> = cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_some())
+            .map(|(j, _)| j)
+            .collect();
+        let mut mem = ExtMem::new(8);
+        let h = mem.alloc_array_from_cells(&cells);
+        let (report, _) = try_compact(&mut mem, &h, 64, RetryPolicy::default()).unwrap();
+        assert_eq!(report.occupied, targets.len());
+        let (report, _) = try_expand(&mut mem, &h, &targets, 64, RetryPolicy::default()).unwrap();
+        assert_eq!(mem.snapshot_cells(&h), cells);
+        assert_eq!(report.occupied, targets.len());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 use std::fmt;
 
 use extmem::{ConfigError, StoreError};
+use obliv_net::bucket_sort::BucketSortError;
 
 /// Everything a fallible algorithm run can report.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -24,12 +25,42 @@ pub enum OdoError {
     Store(StoreError),
     /// The `(N, B, M)` model configuration is invalid.
     Config(ConfigError),
+    /// The caller's arguments don't describe a runnable pass (bad targets,
+    /// cache too small, non-power-of-two blocks, …). On the infallible
+    /// entry points the same validation panics with `reason` as the message,
+    /// so `Display` prints `reason` verbatim.
+    InvalidArgument {
+        /// Human-readable validation failure.
+        reason: &'static str,
+    },
+    /// Routed cells and routing labels disagree — the symptom of garbage
+    /// served by a corrupted (but unauthenticated) store reaching a routing
+    /// pass. Classified as tampering: wrap the store in
+    /// [`AuthenticatedStore`](extmem::auth::AuthenticatedStore) to catch it
+    /// at the block level instead.
+    CorruptedRouting {
+        /// What disagreed.
+        reason: &'static str,
+        /// The cell index where the disagreement was detected.
+        cell: usize,
+    },
+    /// A randomized bucket-sort pass overflowed a bucket; retry with a
+    /// fresh seed (probability `≈ exp(−Z/6)` per bucket-level).
+    BucketOverflow {
+        /// Global index of the bucket that overflowed.
+        bucket: usize,
+        /// How many items wanted the bucket.
+        size: usize,
+        /// The configured bucket capacity `Z`.
+        capacity: usize,
+    },
 }
 
 impl OdoError {
     /// Whether the underlying failure indicates server-side tampering.
     pub fn is_tampering(&self) -> bool {
         matches!(self, OdoError::Store(e) if e.is_tampering())
+            || matches!(self, OdoError::CorruptedRouting { .. })
     }
 }
 
@@ -38,6 +69,18 @@ impl fmt::Display for OdoError {
         match self {
             OdoError::Store(e) => write!(f, "store error: {e}"),
             OdoError::Config(e) => write!(f, "configuration error: {e}"),
+            OdoError::InvalidArgument { reason } => write!(f, "{reason}"),
+            OdoError::CorruptedRouting { reason, cell } => {
+                write!(f, "corrupted routing state at cell {cell}: {reason}")
+            }
+            OdoError::BucketOverflow {
+                bucket,
+                size,
+                capacity,
+            } => write!(
+                f,
+                "bucket overflow: {size} items routed to bucket {bucket} of capacity {capacity}"
+            ),
         }
     }
 }
@@ -47,6 +90,26 @@ impl std::error::Error for OdoError {
         match self {
             OdoError::Store(e) => Some(e),
             OdoError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BucketSortError> for OdoError {
+    fn from(e: BucketSortError) -> Self {
+        match e {
+            BucketSortError::Overflow {
+                bucket,
+                size,
+                capacity,
+                ..
+            } => OdoError::BucketOverflow {
+                bucket,
+                size,
+                capacity,
+            },
+            BucketSortError::InvalidArgument { reason } => OdoError::InvalidArgument { reason },
+            BucketSortError::Store(e) => OdoError::Store(e),
         }
     }
 }
@@ -79,5 +142,44 @@ mod tests {
         assert!(e.to_string().contains("rollback"));
         let t: OdoError = StoreError::Transient { addr: 0 }.into();
         assert!(!t.is_tampering());
+    }
+
+    #[test]
+    fn invalid_argument_displays_its_reason_verbatim() {
+        // The infallible façades panic with `Display` of this variant, so it
+        // must be exactly the legacy assert message.
+        let e = OdoError::InvalidArgument {
+            reason: "expansion targets must be strictly increasing",
+        };
+        assert_eq!(
+            e.to_string(),
+            "expansion targets must be strictly increasing"
+        );
+        assert!(!e.is_tampering());
+    }
+
+    #[test]
+    fn corrupted_routing_classifies_as_tampering() {
+        let e = OdoError::CorruptedRouting {
+            reason: "labels and occupancy must agree",
+            cell: 7,
+        };
+        assert!(e.is_tampering());
+        assert!(e.to_string().contains("cell 7"));
+    }
+
+    #[test]
+    fn bucket_sort_errors_convert() {
+        let e: OdoError = BucketSortError::Overflow {
+            superlevel: 1,
+            level: 2,
+            bucket: 9,
+            size: 130,
+            capacity: 128,
+        }
+        .into();
+        assert!(matches!(e, OdoError::BucketOverflow { bucket: 9, .. }));
+        let e: OdoError = BucketSortError::InvalidArgument { reason: "nope" }.into();
+        assert_eq!(e.to_string(), "nope");
     }
 }

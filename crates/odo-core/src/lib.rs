@@ -16,6 +16,11 @@
 //!   [`select::select_kth`] prunes candidates with weighted splitters and §3
 //!   compaction, then finishes with the external sort, in
 //!   `O((N/B)(1 + log(N/M)))` I/Os whose trace hides the data *and* the rank.
+//! * [`sorter`] — the [`OblivSorter`] strategy layer: every embedded sort
+//!   (the façades, selection's sample/finishing sorts, the quantile pass)
+//!   can swap the deterministic Lemma 2 engine for the randomized bucket
+//!   oblivious sort ([`obliv_net::bucket_sort`]), trading the squared log
+//!   for `O((N/B)·log_{M/B}(N/B))` I/Os once `N ≫ M`.
 //!
 //! With selection landed, the three headline primitives of the paper's title
 //! — compaction, selection, and sorting — all run end to end over plaintext
@@ -38,8 +43,9 @@ pub use obliv_net;
 pub mod compact;
 pub mod error;
 pub mod select;
+pub mod sorter;
 
-pub use compact::{compact_order_preserving, expand, try_compact, CompactReport};
+pub use compact::{compact_order_preserving, expand, try_compact, try_expand, CompactReport};
 pub use error::OdoError;
 pub use extmem::{
     AccessEvent, AccessOp, AccessTrace, ArrayHandle, AuthenticatedStore, Block, BlockCache,
@@ -47,24 +53,34 @@ pub use extmem::{
     FaultSpec, FaultStats, FaultyStore, IoStats, RetryPolicy, RetryStats, StoreError,
 };
 pub use obliv_net::{
-    bitonic_sort_pow2, external_oblivious_sort, external_oblivious_sort_by, odd_even_merge_sort,
-    randomized_shellsort, try_external_oblivious_sort, Comparator, Network, SortOrder, SortReport,
+    bitonic_sort_pow2, bucket_oblivious_sort, external_oblivious_sort, external_oblivious_sort_by,
+    odd_even_merge_sort, randomized_shellsort, try_bucket_oblivious_sort,
+    try_external_oblivious_sort, BucketSortConfig, BucketSortError, BucketSortReport, Comparator,
+    Network, SortOrder, SortReport,
 };
-pub use select::{quantiles, select_kth, try_select_kth, SelectReport, SAMPLES_PER_CHUNK};
+pub use select::{
+    quantiles, quantiles_with, select_kth, select_kth_with, try_select_kth, SelectReport,
+    SAMPLES_PER_CHUNK,
+};
+pub use sorter::{OblivSorter, SortEngine, SorterReport};
 
 /// Everything a typical caller needs, importable with one `use`.
 pub mod prelude {
     pub use crate::compact::{
-        compact, compact_order_preserving, expand, try_compact, CompactReport,
+        compact, compact_order_preserving, expand, try_compact, try_expand, CompactReport,
     };
     pub use crate::error::OdoError;
-    pub use crate::select::{quantiles, select_kth, try_select_kth, SelectReport};
-    pub use crate::try_sort;
+    pub use crate::select::{
+        quantiles, quantiles_with, select_kth, select_kth_with, try_select_kth, SelectReport,
+    };
+    pub use crate::sorter::{OblivSorter, SortEngine, SorterReport};
+    pub use crate::{sort_with, try_sort};
     pub use extmem::{
         install_quiet_abort_hook, AuthenticatedStore, BlockStore, Cell, Config, Element,
         EncryptedStore, ExtMem, FaultSpec, FaultyStore, IoStats, RetryPolicy, RetryStats,
         StoreError,
     };
+    pub use obliv_net::BucketSortConfig;
     pub use obliv_net::{
         external_oblivious_sort, try_external_oblivious_sort, SortOrder, SortReport,
     };
@@ -83,6 +99,22 @@ pub fn try_sort<S: BlockStore>(
     policy: RetryPolicy,
 ) -> Result<(SortReport, RetryStats), OdoError> {
     try_external_oblivious_sort(store, h, cache_elems, order, policy).map_err(OdoError::from)
+}
+
+/// Sorts array `h` with an explicit [`OblivSorter`] strategy — the
+/// engine-switchable front door to the external oblivious sorts.
+/// `&OblivSorter::Bitonic` (the default) is the deterministic Lemma 2 sort;
+/// `OblivSorter::bucket(seed)` swaps in the randomized
+/// `O((N/B)·log_{M/B}(N/B))` bucket sort. See [`sorter::OblivSorter::sort`]
+/// for the contract and panics.
+pub fn sort_with<S: BlockStore>(
+    store: &mut S,
+    h: &ArrayHandle,
+    cache_elems: usize,
+    order: SortOrder,
+    sorter: &OblivSorter,
+) -> SorterReport {
+    sorter.sort(store, h, cache_elems, order)
 }
 
 /// Sorts `items` on an outsourced store configured by `cfg` and returns the

@@ -80,6 +80,7 @@
 //! `B ≥ 1`.
 
 use crate::error::OdoError;
+use crate::sorter::OblivSorter;
 use extmem::element::{cell_cmp_none_last, Cell};
 use extmem::{
     run_fallible, ArrayHandle, Block, BlockStore, CacheBudget, Element, IoStats, RetryPolicy,
@@ -134,6 +135,28 @@ pub fn select_kth<S: BlockStore>(
     h: &ArrayHandle,
     cache_elems: usize,
     k: usize,
+) -> (Element, SelectReport) {
+    select_kth_with(store, h, cache_elems, k, &OblivSorter::Bitonic)
+}
+
+/// [`select_kth`] with an explicit [`OblivSorter`] strategy: the sample sort
+/// of every pruning round and the finishing sort of the final window run on
+/// the selected engine. `&OblivSorter::Bitonic` reproduces [`select_kth`]
+/// exactly; `OblivSorter::bucket(seed)` swaps in the randomized
+/// `O((N/B)·log_{M/B}(N/B))` engine (note its trace then depends on the seed
+/// and the random bin assignment — see `DESIGN.md` on when that is
+/// acceptable).
+///
+/// # Panics
+/// Same conditions as [`select_kth`], plus — on the bucket engine — a bucket
+/// overflow (probability `≈ exp(−Z/6)` per bucket-level; retry with a fresh
+/// seed).
+pub fn select_kth_with<S: BlockStore>(
+    store: &mut S,
+    h: &ArrayHandle,
+    cache_elems: usize,
+    k: usize,
+    sorter: &OblivSorter,
 ) -> (Element, SelectReport) {
     let start = store.io_stats();
     let n = h.len();
@@ -225,7 +248,7 @@ pub fn select_kth<S: BlockStore>(
         // 2. Oblivious approximate-quantile reduction: sort the samples, then
         // stream them once, latching the two bracket splitters in registers —
         // never reading a rank-dependent address.
-        obliv_net::external_oblivious_sort_by(store, &samples, cache_elems, &cell_cmp_none_last);
+        sorter.sort_by(store, &samples, cache_elems, &cell_cmp_none_last);
         let q_lo = (kp * s / g).checked_sub(c).filter(|&q| q < s_len);
         let q_hi = Some((kp + 1).div_ceil(g / s)).filter(|&q| q < s_len);
         let (lo, hi) = scan_splitters(store, &samples, &mut budget, q_lo, q_hi);
@@ -278,10 +301,10 @@ pub fn select_kth<S: BlockStore>(
         r = r_next;
     }
 
-    // Finish: sort the final window with the Lemma 2 external sort (it now
-    // fits in cache: one read plus one write pass), then stream it to latch
-    // the kp-th cell — the working item (key, original index) of the target.
-    obliv_net::external_oblivious_sort_by(store, &cur, cache_elems, &cell_cmp_none_last);
+    // Finish: sort the final window with the selected engine (it now fits in
+    // cache: one read plus one write pass), then stream it to latch the
+    // kp-th cell — the working item (key, original index) of the target.
+    sorter.sort_by(store, &cur, cache_elems, &cell_cmp_none_last);
     let winner = budget.with(r, |_| {
         let cells = store.load_span(&cur, 0, r);
         cells[kp].expect("the target survived every pruning round")
@@ -361,6 +384,25 @@ pub fn quantiles<S: BlockStore>(
     cache_elems: usize,
     ranks: &[usize],
 ) -> (Vec<Element>, IoStats) {
+    quantiles_with(store, h, cache_elems, ranks, &OblivSorter::Bitonic)
+}
+
+/// [`quantiles`] with an explicit [`OblivSorter`] strategy for the one big
+/// sort of the working copy. With `OblivSorter::bucket(seed)` the quantile
+/// pass drops from `O((N/B)·log²(N/M))` to `O((N/B)·log_{M/B}(N/B))` I/Os —
+/// on this entry point the engine swap pays off the most, because the sort
+/// *is* the algorithm.
+///
+/// # Panics
+/// Same conditions as [`quantiles`], plus the engine's own requirements (see
+/// [`crate::sorter::OblivSorter::sort_by`]).
+pub fn quantiles_with<S: BlockStore>(
+    store: &mut S,
+    h: &ArrayHandle,
+    cache_elems: usize,
+    ranks: &[usize],
+    sorter: &OblivSorter,
+) -> (Vec<Element>, IoStats) {
     let start = store.io_stats();
     let b = h.block_elems();
     assert!(
@@ -375,7 +417,7 @@ pub fn quantiles<S: BlockStore>(
     }
 
     // One oblivious sort; occupied working items now sit at their ranks.
-    obliv_net::external_oblivious_sort_by(store, &wrk, cache_elems, &cell_cmp_none_last);
+    sorter.sort_by(store, &wrk, cache_elems, &cell_cmp_none_last);
 
     // Stream the sorted copy, latching each requested rank in a register.
     let mut picks: Vec<Cell> = vec![None; ranks.len()];
@@ -663,6 +705,39 @@ mod tests {
         }
         // The input survives, as with selection.
         assert_eq!(mem.snapshot_cells(&h), cells);
+    }
+
+    #[test]
+    fn bucket_engine_selects_identically_to_the_default() {
+        let cells: Vec<Cell> = keyed_input(2048, 11, 64).into_iter().map(Some).collect();
+        for k in [0usize, 777, 2047] {
+            let mut mem = ExtMem::new(16);
+            let h = mem.alloc_array_from_cells(&cells);
+            let (got, report) = select_kth_with(&mut mem, &h, 256, k, &OblivSorter::bucket(13));
+            assert_eq!(got, oracle(&cells, k), "k={k}");
+            assert_eq!(report.rank, k);
+            assert_eq!(cells[report.index], Some(got));
+        }
+    }
+
+    #[test]
+    fn quantiles_with_bucket_engine_matches_and_costs_less() {
+        let n = 1usize << 13;
+        let cells: Vec<Cell> = keyed_input(n, 3, 100).into_iter().map(Some).collect();
+        let ranks = [0usize, 2000, n - 1];
+        let mut mem = ExtMem::new(16);
+        let h = mem.alloc_array_from_cells(&cells);
+        let (bit, io_bit) = quantiles(&mut mem, &h, 256, &ranks);
+        let mut mem = ExtMem::new(16);
+        let h = mem.alloc_array_from_cells(&cells);
+        let (bkt, io_bkt) = quantiles_with(&mut mem, &h, 256, &ranks, &OblivSorter::bucket(4));
+        assert_eq!(bit, bkt);
+        assert!(
+            io_bkt.total() < io_bit.total(),
+            "bucket {} >= bitonic {} at N/M = 32",
+            io_bkt.total(),
+            io_bit.total()
+        );
     }
 
     #[test]

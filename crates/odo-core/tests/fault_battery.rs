@@ -454,3 +454,43 @@ fn facade_error_shape_matches_the_documented_contract() {
         "got {err:?}"
     );
 }
+
+/// Satellite pin for the butterfly-routing bugfix: when a *corrupting* but
+/// unauthenticated server feeds garbage into an external routing pass, the
+/// fallible façade must surface a typed, tampering-classified
+/// [`OdoError::CorruptedRouting`] — the pre-fix code panicked on an
+/// `unwrap()` of the routed cells instead. (Without authentication a
+/// silently wrong answer also remains possible — the documented trade-off
+/// pinned by the `plain_corrupt_silent` bench lane — but a panic never is.)
+#[test]
+fn unauthenticated_corruption_in_routing_is_a_typed_error_not_a_panic() {
+    let mut corrupted_routing = 0u64;
+    for seed in 1..=12u64 {
+        let enc = EncryptedStore::new(B, 0xBAD_C0DE ^ seed);
+        let mut faulty = FaultyStore::new(enc, seed, FaultSpec::none());
+        let input = compact_input(seed);
+        let h = BlockStore::alloc_array(&mut faulty, input.len());
+        faulty.store_span(&h, 0, &input);
+        faulty.set_spec(FaultSpec {
+            transient_read_ppm: 0,
+            corrupt_read_ppm: 120_000,
+            stale_read_ppm: 0,
+            drop_write_ppm: 0,
+        });
+        match try_compact(&mut faulty, &h, M, RetryPolicy::default()) {
+            // Corruption can miss the label-critical reads entirely; only
+            // the *shape* of the failure is pinned, not that it must fire
+            // on every seed.
+            Ok(_) => {}
+            Err(e @ OdoError::CorruptedRouting { .. }) => {
+                assert!(e.is_tampering());
+                corrupted_routing += 1;
+            }
+            Err(e) => panic!("seed {seed}: expected CorruptedRouting, got {e:?}"),
+        }
+    }
+    assert!(
+        corrupted_routing > 0,
+        "the corrupt lane never reached the routing validator"
+    );
+}

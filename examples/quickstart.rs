@@ -42,6 +42,29 @@ fn main() {
         trace.len()
     );
 
+    // The other sort engine: the randomized bucket oblivious sort drops the
+    // squared log for the external-memory optimum O((N/B)·log_{M/B}(N/B)) —
+    // the engine of choice once N ≫ M. Trade-off: its trace is a
+    // deterministic function of (shape, seed, data) — reruns replay it byte
+    // for byte, but it is not shape-only like the Lemma 2 trace above. See
+    // DESIGN.md "Sorter strategy" for when to pick which.
+    let mut bmem = ExtMem::new(b);
+    let bh = bmem.alloc_array_from_elements(&items);
+    let breport = sort_with(
+        &mut bmem,
+        &bh,
+        m,
+        SortOrder::Ascending,
+        &OblivSorter::bucket(0xB0C_C1A0),
+    );
+    assert_eq!(bmem.snapshot_elements(&bh), sorted, "engines agree");
+    println!(
+        "bucket engine: {} I/Os vs Lemma 2 {} at N/M = {} — same sorted output",
+        breport.io.total(),
+        report.io.total(),
+        n / m
+    );
+
     // --- §3 tight order-preserving compaction, over an ENCRYPTED store ---
     // Delete ~half the records, then compact the survivors to a prefix in
     // O((N/B)(1 + log(N/M))) I/Os — one log factor, cheaper than sorting.
