@@ -63,6 +63,20 @@ fn mac_block(key: u64, addr: usize, version: u64, blk: &Block) -> u64 {
     acc
 }
 
+/// The client-side root of trust of an [`AuthenticatedStore`], as an opaque
+/// checkpointable value: the MAC key, the per-block version table, and the
+/// data-array → MAC-array map. Everything else (the MAC arrays themselves)
+/// lives server-side and is *verified against* this state, so persisting it
+/// across a client crash is exactly what makes torn server state detectable
+/// on restart. See [`AuthenticatedStore::client_state`] /
+/// [`AuthenticatedStore::resume`].
+#[derive(Clone, Debug)]
+pub struct AuthClientState {
+    key: u64,
+    versions: Vec<u64>,
+    mac_arrays: HashMap<usize, ArrayHandle>,
+}
+
 #[derive(Debug)]
 struct MacCacheEntry {
     mac_h: ArrayHandle,
@@ -124,6 +138,43 @@ impl<S: BlockStore> AuthenticatedStore<S> {
     /// The wrapped store.
     pub fn inner(&self) -> &S {
         &self.inner
+    }
+
+    /// Unwraps the store, discarding the client state (and any dirty MAC
+    /// cache — call [`AuthenticatedStore::flush_macs`] first if the server
+    /// copy must be complete).
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Snapshots the client-side root of trust — MAC key, version table and
+    /// the data-array → MAC-array map — as an opaque, durable value. This is
+    /// the state a real client would checkpoint to its own trusted storage:
+    /// with it, a crashed-and-restarted client can [`AuthenticatedStore::resume`]
+    /// over a reopened server file and still detect every torn, rolled-back
+    /// or corrupted block. Flush the MAC cache first
+    /// ([`AuthenticatedStore::flush_macs`]) so the snapshot's server-side
+    /// counterpart is complete.
+    pub fn client_state(&self) -> AuthClientState {
+        AuthClientState {
+            key: self.key,
+            versions: self.versions.clone(),
+            mac_arrays: self.mac_arrays.clone(),
+        }
+    }
+
+    /// Reconstructs an authenticated view over a reopened server store from
+    /// a checkpointed [`AuthClientState`] (the crash-recovery path). Array
+    /// handles from before the crash remain valid, since handles address
+    /// blocks the same way across backends and restarts.
+    pub fn resume(inner: S, state: AuthClientState) -> Self {
+        let mut auth = Self::new(inner, state.key);
+        // Re-charge the version table against the fresh budget, exactly as
+        // the original alloc_array calls did.
+        auth.budget.acquire(state.versions.len());
+        auth.versions = state.versions;
+        auth.mac_arrays = state.mac_arrays;
+        auth
     }
 
     /// Mutable access to the wrapped store (e.g. to reconfigure a
@@ -270,6 +321,14 @@ impl<S: BlockStore> BlockStore for AuthenticatedStore<S> {
 
     fn io_stats(&self) -> IoStats {
         self.inner.io_stats()
+    }
+
+    fn hint_blocks(&mut self, h: &ArrayHandle, blocks: &[usize]) {
+        self.inner.hint_blocks(h, blocks);
+    }
+
+    fn recycle(&mut self, blk: Block) {
+        self.inner.recycle(blk);
     }
 
     fn try_load_block(&mut self, h: &ArrayHandle, i: usize) -> Result<Block, StoreError> {

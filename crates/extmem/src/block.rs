@@ -31,6 +31,18 @@ impl Block {
         }
     }
 
+    /// Wraps an owned buffer (typically recycled from a
+    /// [`BlockArena`](crate::arena::BlockArena)) as a block without copying.
+    pub fn from_buffer(slots: Vec<Cell>) -> Self {
+        Block { slots }
+    }
+
+    /// Unwraps the block into its owned buffer so it can be returned to a
+    /// [`BlockArena`](crate::arena::BlockArena) instead of dropped.
+    pub fn into_buffer(self) -> Vec<Cell> {
+        self.slots
+    }
+
     /// The block size `B` (number of slots).
     #[inline]
     pub fn len(&self) -> usize {

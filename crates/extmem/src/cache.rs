@@ -76,6 +76,10 @@ impl<'a, S: BlockStore> BlockCache<'a, S> {
             let (bi, blk, dirty, _) = self.resident.swap_remove(victim);
             if dirty {
                 self.mem.store_block(&self.handle, bi, blk);
+            } else {
+                // Clean victims skip the write-back; return the buffer to the
+                // store's arena instead of dropping it.
+                self.mem.recycle(blk);
             }
         }
         let blk = self.mem.load_block(&self.handle, block_idx);
@@ -108,6 +112,8 @@ impl<'a, S: BlockStore> BlockCache<'a, S> {
         for (bi, blk, dirty, _) in resident {
             if dirty {
                 self.mem.store_block(&self.handle, bi, blk);
+            } else {
+                self.mem.recycle(blk);
             }
         }
     }

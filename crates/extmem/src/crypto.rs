@@ -36,7 +36,7 @@ use crate::block::Block;
 use crate::element::{Cell, Element};
 use crate::error::StoreError;
 use crate::mem::{ArrayHandle, ExtMem, IoStats};
-use crate::store::BlockStore;
+use crate::store::{BackingStore, BlockStore};
 use crate::util::hash64;
 
 const PAYLOAD_MASK: u64 = (1 << 63) - 1;
@@ -50,8 +50,8 @@ const OCC_BIT: u64 = 1 << 63;
 /// encrypt to different ciphertexts on every write (the semantic-security
 /// property the paper requires).
 #[derive(Debug)]
-pub struct EncryptedStore {
-    mem: ExtMem,
+pub struct EncryptedStore<S: BackingStore = ExtMem> {
+    mem: S,
     key: u64,
     write_counter: u64,
     /// Nonce of the latest write for each global block; `u64::MAX` means the
@@ -60,34 +60,55 @@ pub struct EncryptedStore {
 }
 
 impl EncryptedStore {
-    /// Creates an encrypted store with the given secret key.
+    /// Creates an encrypted store over a fresh in-memory [`ExtMem`] arena
+    /// with the given secret key.
     pub fn new(block_elems: usize, key: u64) -> Self {
+        Self::with_backing(ExtMem::new(block_elems), key)
+    }
+}
+
+impl<S: BackingStore> EncryptedStore<S> {
+    /// Wraps an arbitrary backend — in-memory [`ExtMem`] or the on-disk
+    /// [`FileStore`](crate::file::FileStore) — with the re-encrypting
+    /// masking layer. The backend must be empty (nothing allocated yet):
+    /// ciphertext written through this layer is only decryptable through it.
+    pub fn with_backing(mem: S, key: u64) -> Self {
+        assert_eq!(
+            mem.allocated_blocks(),
+            0,
+            "EncryptedStore must own its backend from the start"
+        );
         EncryptedStore {
-            mem: ExtMem::new(block_elems),
+            mem,
             key,
             write_counter: 0,
             nonces: Vec::new(),
         }
     }
 
-    /// Enables trace capture on the underlying arena.
+    /// The wrapped backend.
+    pub fn backing(&self) -> &S {
+        &self.mem
+    }
+
+    /// Enables trace capture on the underlying backend.
     pub fn enable_trace(&mut self) {
-        self.mem.enable_trace();
+        BackingStore::enable_trace(&mut self.mem);
     }
 
     /// Returns and clears the captured access trace.
     pub fn take_trace(&mut self) -> Option<crate::mem::AccessTrace> {
-        self.mem.take_trace()
+        BackingStore::take_trace(&mut self.mem)
     }
 
-    /// Cumulative I/O statistics of the underlying arena.
+    /// Cumulative I/O statistics of the underlying backend.
     pub fn stats(&self) -> IoStats {
-        self.mem.stats()
+        self.mem.io_stats()
     }
 
     /// Block size `B`.
     pub fn block_elems(&self) -> usize {
-        self.mem.block_elems()
+        BlockStore::block_elems(&self.mem)
     }
 
     #[inline]
@@ -137,14 +158,14 @@ impl EncryptedStore {
     }
 
     fn ensure_nonces(&mut self) {
-        while self.nonces.len() < self.mem.allocated_blocks() {
+        while self.nonces.len() < BackingStore::allocated_blocks(&self.mem) {
             self.nonces.push(u64::MAX);
         }
     }
 
     /// Allocates an array of `len_elements` slots (initially all dummies).
     pub fn alloc_array(&mut self, len_elements: usize) -> ArrayHandle {
-        let h = self.mem.alloc_array(len_elements);
+        let h = BlockStore::alloc_array(&mut self.mem, len_elements);
         self.ensure_nonces();
         h
     }
@@ -162,39 +183,64 @@ impl EncryptedStore {
             }
             self.write_block(&h, i, &blk);
         }
-        self.mem.reset_stats();
+        BackingStore::reset_stats(&mut self.mem);
         h
     }
 
     /// Reads and decrypts local block `i` of array `h` (one I/O).
     pub fn read_block(&mut self, h: &ArrayHandle, i: usize) -> Block {
+        self.try_read_block(h, i)
+            .unwrap_or_else(|e| panic!("EncryptedStore: {e}"))
+    }
+
+    /// Fallible [`Self::read_block`]: backing-store failures (disk errors,
+    /// injected faults) propagate as typed [`StoreError`]s.
+    pub fn try_read_block(&mut self, h: &ArrayHandle, i: usize) -> Result<Block, StoreError> {
         let addr = h.global_block(i);
-        let ct = self.mem.read_block(h, i);
+        let ct = self.mem.try_load_block(h, i)?;
         let nonce = self.nonces.get(addr).copied().unwrap_or(u64::MAX);
-        if nonce == u64::MAX {
+        Ok(if nonce == u64::MAX {
+            self.mem.recycle(ct);
             Block::empty(self.block_elems())
         } else {
-            self.decrypt_block(addr, nonce, &ct)
-        }
+            let pt = self.decrypt_block(addr, nonce, &ct);
+            self.mem.recycle(ct);
+            pt
+        })
     }
 
     /// Encrypts and writes local block `i` of array `h` (one I/O). A fresh
     /// nonce is used on every call, so rewriting identical plaintext produces
     /// a different ciphertext.
     pub fn write_block(&mut self, h: &ArrayHandle, i: usize, blk: &Block) {
+        self.try_write_block(h, i, blk)
+            .unwrap_or_else(|e| panic!("EncryptedStore: {e}"))
+    }
+
+    /// Fallible [`Self::write_block`]. The nonce table and write counter are
+    /// only advanced after the backing store acknowledges the write, so a
+    /// failed (and later retried) write never leaves the nonce map pointing
+    /// at a ciphertext that was never persisted.
+    pub fn try_write_block(
+        &mut self,
+        h: &ArrayHandle,
+        i: usize,
+        blk: &Block,
+    ) -> Result<(), StoreError> {
         self.ensure_nonces();
         let addr = h.global_block(i);
-        self.write_counter += 1;
-        let nonce = self.write_counter;
+        let nonce = self.write_counter + 1;
         let ct = self.encrypt_block(addr, nonce, blk);
+        self.mem.try_store_block(h, i, ct)?;
+        self.write_counter = nonce;
         self.nonces[addr] = nonce;
-        self.mem.write_block(h, i, ct);
+        Ok(())
     }
 
     /// The raw ciphertext currently stored for local block `i` (free of
     /// charge; used by tests to demonstrate ciphertext freshness).
     pub fn raw_ciphertext(&self, h: &ArrayHandle, i: usize) -> Block {
-        let cells = self.mem.snapshot_cells(h);
+        let cells = BackingStore::snapshot_cells(&self.mem, h);
         let b = self.block_elems();
         let start = i * b;
         Block::from_cells(&cells[start..(start + b).min(cells.len())])
@@ -225,7 +271,7 @@ impl EncryptedStore {
     }
 }
 
-impl BlockStore for EncryptedStore {
+impl<S: BackingStore> BlockStore for EncryptedStore<S> {
     fn block_elems(&self) -> usize {
         EncryptedStore::block_elems(self)
     }
@@ -240,15 +286,29 @@ impl BlockStore for EncryptedStore {
 
     fn store_block(&mut self, h: &ArrayHandle, i: usize, blk: Block) {
         self.write_block(h, i, &blk);
+        self.mem.recycle(blk);
     }
 
     fn io_stats(&self) -> IoStats {
         self.stats()
     }
 
+    fn hint_blocks(&mut self, h: &ArrayHandle, blocks: &[usize]) {
+        self.mem.hint_blocks(h, blocks);
+    }
+
+    fn recycle(&mut self, blk: Block) {
+        self.mem.recycle(blk);
+    }
+
+    fn try_load_block(&mut self, h: &ArrayHandle, i: usize) -> Result<Block, StoreError> {
+        self.try_read_block(h, i)
+    }
+
     /// The fallible write path rejects over-wide payloads with a typed
     /// [`StoreError::PayloadTooWide`] instead of panicking, so retrying
-    /// wrappers and the `try_` algorithm variants can propagate it.
+    /// wrappers and the `try_` algorithm variants can propagate it; backing
+    /// store failures (disk errors, injected faults) propagate unchanged.
     fn try_store_block(&mut self, h: &ArrayHandle, i: usize, blk: Block) -> Result<(), StoreError> {
         if let Some(e) = blk
             .slots()
@@ -261,7 +321,8 @@ impl BlockStore for EncryptedStore {
                 payload: e.payload,
             });
         }
-        self.write_block(h, i, &blk);
+        self.try_write_block(h, i, &blk)?;
+        self.mem.recycle(blk);
         Ok(())
     }
 }

@@ -76,6 +76,18 @@ pub enum StoreError {
         /// The offending payload value.
         payload: u64,
     },
+    /// A real operating-system I/O failure from a file-backed store
+    /// ([`FileStore`](crate::file::FileStore)). Retryable kinds
+    /// (`Interrupted`, `TimedOut`, `WouldBlock`) are mapped to
+    /// [`StoreError::Transient`] at the store, and truncated/garbled reads
+    /// to [`StoreError::Corrupted`], so an `Io` error is a *permanent*
+    /// environmental failure (permissions, disk full, bad descriptor, …).
+    Io {
+        /// Global block address of the failed operation.
+        addr: usize,
+        /// The underlying [`std::io::ErrorKind`].
+        kind: std::io::ErrorKind,
+    },
 }
 
 impl StoreError {
@@ -130,6 +142,9 @@ impl fmt::Display for StoreError {
                 "payload {payload:#x} at block {addr} exceeds the 63-bit limit of the \
                  encrypted encoding"
             ),
+            StoreError::Io { addr, kind } => {
+                write!(f, "file I/O error ({kind:?}) at block {addr}")
+            }
         }
     }
 }
@@ -159,6 +174,13 @@ mod tests {
         assert!(!StoreError::PayloadTooWide {
             addr: 0,
             payload: 0
+        }
+        .is_transient());
+        // Retryable io::ErrorKinds are mapped to Transient *at the store*,
+        // so an Io that reaches callers is permanent by construction.
+        assert!(!StoreError::Io {
+            addr: 0,
+            kind: std::io::ErrorKind::PermissionDenied
         }
         .is_transient());
     }

@@ -264,6 +264,14 @@ impl<S: BlockStore> BlockStore for FaultyStore<S> {
         self.inner.io_stats()
     }
 
+    fn hint_blocks(&mut self, h: &ArrayHandle, blocks: &[usize]) {
+        self.inner.hint_blocks(h, blocks);
+    }
+
+    fn recycle(&mut self, blk: Block) {
+        self.inner.recycle(blk);
+    }
+
     fn try_load_block(&mut self, h: &ArrayHandle, i: usize) -> Result<Block, StoreError> {
         let addr = h.global_block(i);
         let op = self.op_counter;

@@ -62,6 +62,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod auth;
 pub mod block;
 pub mod budget;
@@ -71,13 +72,16 @@ pub mod crypto;
 pub mod element;
 pub mod error;
 pub mod fault;
+pub mod file;
 pub mod mem;
+pub mod prefetch;
 pub mod retry;
 pub mod store;
 pub mod trace;
 pub mod util;
 
-pub use auth::AuthenticatedStore;
+pub use arena::{ArenaStats, BlockArena};
+pub use auth::{AuthClientState, AuthenticatedStore};
 pub use block::Block;
 pub use budget::CacheBudget;
 pub use cache::BlockCache;
@@ -86,6 +90,8 @@ pub use crypto::EncryptedStore;
 pub use element::{Cell, Element};
 pub use error::StoreError;
 pub use fault::{FaultKind, FaultSpec, FaultStats, FaultyStore};
+pub use file::{FileReader, FileStore, InjectedCrash};
 pub use mem::{AccessEvent, AccessOp, AccessTrace, ArrayHandle, ExtMem, IoStats};
+pub use prefetch::{PrefetchConfig, PrefetchRead, PrefetchStats, Prefetchable, PrefetchingStore};
 pub use retry::{install_quiet_abort_hook, run_fallible, RetryPolicy, RetryStats, RetryingStore};
-pub use store::BlockStore;
+pub use store::{BackingStore, BlockStore};

@@ -12,6 +12,9 @@
 //! random-number-generator seed) and asserting that the captured traces are
 //! identical — see the [`crate::trace`] module.
 
+use std::sync::Arc;
+
+use crate::arena::BlockArena;
 use crate::block::Block;
 use crate::element::{Cell, Element};
 
@@ -106,6 +109,17 @@ impl ArrayHandle {
         debug_assert!(i < self.n_blocks(), "block index out of range");
         self.start_block + i
     }
+
+    /// Crate-internal constructor used by the other [`crate::store::BlockStore`]
+    /// implementations ([`crate::file::FileStore`]); handles must address
+    /// blocks identically across backends so traces stay comparable.
+    pub(crate) fn new_raw(start_block: usize, len_elements: usize, block_elems: usize) -> Self {
+        ArrayHandle {
+            start_block,
+            len_elements,
+            block_elems,
+        }
+    }
 }
 
 /// Bob's block store, with per-operation I/O accounting and trace capture.
@@ -115,6 +129,9 @@ pub struct ExtMem {
     blocks: Vec<Block>,
     stats: IoStats,
     trace: Option<AccessTrace>,
+    /// Recycles the `Vec<Cell>` of every block this store clones out or
+    /// replaces, so the block path stops churning the allocator.
+    arena: Arc<BlockArena>,
 }
 
 impl ExtMem {
@@ -126,7 +143,13 @@ impl ExtMem {
             blocks: Vec::new(),
             stats: IoStats::default(),
             trace: None,
+            arena: BlockArena::new(),
         }
+    }
+
+    /// The buffer pool this store draws block buffers from.
+    pub fn arena(&self) -> &Arc<BlockArena> {
+        &self.arena
     }
 
     /// Creates an arena and enables trace capture from the start.
@@ -220,19 +243,25 @@ impl ExtMem {
         }
     }
 
-    /// Reads local block `i` of array `h` (costs one I/O).
+    /// Reads local block `i` of array `h` (costs one I/O). The returned
+    /// block's buffer comes from the shared [`BlockArena`], not a fresh
+    /// allocation.
     pub fn read_block(&mut self, h: &ArrayHandle, i: usize) -> Block {
         let addr = h.global_block(i);
         self.record(AccessOp::Read, addr);
-        self.blocks[addr].clone()
+        let mut buf = self.arena.take(self.block_elems);
+        buf.copy_from_slice(self.blocks[addr].slots());
+        Block::from_buffer(buf)
     }
 
-    /// Writes local block `i` of array `h` (costs one I/O).
+    /// Writes local block `i` of array `h` (costs one I/O). The replaced
+    /// block's buffer is recycled through the [`BlockArena`].
     pub fn write_block(&mut self, h: &ArrayHandle, i: usize, blk: Block) {
         assert_eq!(blk.len(), self.block_elems, "block size mismatch");
         let addr = h.global_block(i);
         self.record(AccessOp::Write, addr);
-        self.blocks[addr] = blk;
+        let old = std::mem::replace(&mut self.blocks[addr], blk);
+        self.arena.put(old.into_buffer());
     }
 
     /// Reads the cell at element index `idx` of array `h` by reading its

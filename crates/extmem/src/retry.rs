@@ -192,6 +192,14 @@ impl<S: BlockStore> BlockStore for RetryingStore<'_, S> {
     fn io_stats(&self) -> IoStats {
         self.inner.io_stats()
     }
+
+    fn hint_blocks(&mut self, h: &ArrayHandle, blocks: &[usize]) {
+        self.inner.hint_blocks(h, blocks);
+    }
+
+    fn recycle(&mut self, blk: Block) {
+        self.inner.recycle(blk);
+    }
 }
 
 /// Runs `f` — any algorithm written against the infallible [`BlockStore`]
@@ -221,13 +229,20 @@ pub fn run_fallible<S: BlockStore, R>(
 }
 
 /// Replaces the panic hook with one that stays silent for [`StoreAbort`]
-/// unwinds (they are control flow, caught by [`run_fallible`]) and defers to
-/// the previous hook for everything else. Call once at binary start-up;
+/// unwinds (they are control flow, caught by [`run_fallible`]) and for
+/// [`InjectedCrash`](crate::file::InjectedCrash) unwinds (deliberate
+/// simulated power-cuts, caught by the crash-consistency tests), deferring
+/// to the previous hook for everything else. Call once at binary start-up;
 /// tests don't need it because the harness captures panic output.
 pub fn install_quiet_abort_hook() {
     let previous = std::panic::take_hook();
     std::panic::set_hook(Box::new(move |info| {
-        if info.payload().downcast_ref::<StoreAbort>().is_none() {
+        let payload = info.payload();
+        if payload.downcast_ref::<StoreAbort>().is_none()
+            && payload
+                .downcast_ref::<crate::file::InjectedCrash>()
+                .is_none()
+        {
             previous(info);
         }
     }));

@@ -21,7 +21,7 @@
 use crate::block::Block;
 use crate::element::Cell;
 use crate::error::StoreError;
-use crate::mem::{ArrayHandle, ExtMem, IoStats};
+use crate::mem::{AccessTrace, ArrayHandle, ExtMem, IoStats};
 
 /// A server that stores arrays of blocks and charges one I/O per block read
 /// or write. The access *order* of the provided methods is fixed and
@@ -41,6 +41,21 @@ pub trait BlockStore {
 
     /// Cumulative I/O counters of the underlying server.
     fn io_stats(&self) -> IoStats;
+
+    /// Announces that the local blocks `blocks` of array `h` are about to be
+    /// read, in order. Purely advisory: the default is a no-op, and a store
+    /// that honors hints (like
+    /// [`PrefetchingStore`](crate::prefetch::PrefetchingStore)) must neither
+    /// charge I/Os for them nor change the visible access trace — the hint
+    /// schedule is derived from the input *shape* alone (the pass structure
+    /// of the oblivious algorithms), so issuing it early leaks nothing the
+    /// trace itself would not.
+    fn hint_blocks(&mut self, _h: &ArrayHandle, _blocks: &[usize]) {}
+
+    /// Offers a no-longer-needed block's buffer back to the store's pool
+    /// ([`BlockArena`](crate::arena::BlockArena)). Advisory; the default
+    /// drops the block.
+    fn recycle(&mut self, _blk: Block) {}
 
     /// Fallible read of local block `i` of array `h` (one I/O).
     ///
@@ -97,12 +112,17 @@ pub trait BlockStore {
         let b = self.block_elems();
         let blk_lo = elem_lo / b;
         let blk_hi = (elem_hi - 1) / b;
+        if blk_hi > blk_lo {
+            let schedule: Vec<usize> = (blk_lo..=blk_hi).collect();
+            self.hint_blocks(h, &schedule);
+        }
         let mut out = Vec::with_capacity(elem_hi - elem_lo);
         for bi in blk_lo..=blk_hi {
             let blk = self.try_load_block(h, bi)?;
             let lo = elem_lo.max(bi * b) - bi * b;
             let hi = elem_hi.min((bi + 1) * b) - bi * b;
             out.extend_from_slice(&blk.slots()[lo..hi]);
+            self.recycle(blk);
         }
         Ok(out)
     }
@@ -174,12 +194,17 @@ pub trait BlockStore {
         let b = self.block_elems();
         let blk_lo = elem_lo / b;
         let blk_hi = (elem_hi - 1) / b;
+        if blk_hi > blk_lo {
+            let schedule: Vec<usize> = (blk_lo..=blk_hi).collect();
+            self.hint_blocks(h, &schedule);
+        }
         let mut out = Vec::with_capacity(elem_hi - elem_lo);
         for bi in blk_lo..=blk_hi {
             let blk = self.load_block(h, bi);
             let lo = elem_lo.max(bi * b) - bi * b;
             let hi = elem_hi.min((bi + 1) * b) - bi * b;
             out.extend_from_slice(&blk.slots()[lo..hi]);
+            self.recycle(blk);
         }
         out
     }
@@ -213,6 +238,32 @@ pub trait BlockStore {
     }
 }
 
+/// The extra surface a *bottom-level* server backend exposes beyond
+/// [`BlockStore`]: trace capture, stats reset, global allocation state and a
+/// free (unmetered) snapshot. The wrappers that need a concrete backend
+/// underneath them — [`EncryptedStore`](crate::crypto::EncryptedStore) in
+/// particular — are generic over this trait, so the same masking layer runs
+/// over the in-memory arena ([`ExtMem`]) or the on-disk
+/// [`FileStore`](crate::file::FileStore) without caring which.
+pub trait BackingStore: BlockStore {
+    /// Starts recording the access trace (clearing any previous recording).
+    fn enable_trace(&mut self);
+
+    /// Stops recording and returns the captured trace, if any.
+    fn take_trace(&mut self) -> Option<AccessTrace>;
+
+    /// Resets the I/O counters (does not clear the trace).
+    fn reset_stats(&mut self);
+
+    /// Total number of blocks currently allocated in the backend.
+    fn allocated_blocks(&self) -> usize;
+
+    /// Non-oblivious convenience used by tests and oracles: the whole array
+    /// as a flat vector of cells, **without** charging I/Os or touching the
+    /// trace. Never use this inside an algorithm under test.
+    fn snapshot_cells(&self, h: &ArrayHandle) -> Vec<Cell>;
+}
+
 impl BlockStore for ExtMem {
     fn block_elems(&self) -> usize {
         ExtMem::block_elems(self)
@@ -232,6 +283,32 @@ impl BlockStore for ExtMem {
 
     fn io_stats(&self) -> IoStats {
         self.stats()
+    }
+
+    fn recycle(&mut self, blk: Block) {
+        self.arena().put(blk.into_buffer());
+    }
+}
+
+impl BackingStore for ExtMem {
+    fn enable_trace(&mut self) {
+        ExtMem::enable_trace(self)
+    }
+
+    fn take_trace(&mut self) -> Option<AccessTrace> {
+        ExtMem::take_trace(self)
+    }
+
+    fn reset_stats(&mut self) {
+        ExtMem::reset_stats(self)
+    }
+
+    fn allocated_blocks(&self) -> usize {
+        ExtMem::allocated_blocks(self)
+    }
+
+    fn snapshot_cells(&self, h: &ArrayHandle) -> Vec<Cell> {
+        ExtMem::snapshot_cells(self, h)
     }
 }
 

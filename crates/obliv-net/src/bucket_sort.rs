@@ -100,6 +100,12 @@ const DEFAULT_MIN_BUCKET_CAPACITY: usize = 128;
 /// is a deterministic function of the config.
 const MAX_SEED_ATTEMPTS: usize = 4;
 
+/// Per-cursor hint window (in blocks) for the multi-way merge. Deep enough
+/// that a prefetching store can coalesce a run's reads into spans, shallow
+/// enough that `fan_in × MERGE_LOOKAHEAD` outstanding hints stay well under
+/// a prefetcher's ready budget at the grid points we benchmark.
+const MERGE_LOOKAHEAD: usize = 8;
+
 /// Tuning knobs for [`bucket_oblivious_sort`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BucketSortConfig {
@@ -749,6 +755,10 @@ fn distribute_group<S: BlockStore>(
     let pos_lo = base * layout.chunk;
     let pos_hi = ((base + grp) * layout.chunk).min(layout.n);
     if pos_lo < pos_hi {
+        // The group's input chunk occupies a shape-determined block range;
+        // advertise the whole sweep so a prefetching store can read ahead.
+        let schedule: Vec<usize> = (pos_lo / b..=(pos_hi - 1) / b).collect();
+        store.hint_blocks(input, &schedule);
         for bi in pos_lo / b..=(pos_hi - 1) / b {
             budget.try_acquire(b).map_err(BucketSortError::Store)?;
             let blk = store.load_block(input, bi);
@@ -886,6 +896,15 @@ fn load_group<S: BlockStore>(
     let stride = layout.stride(s);
     let salt = layout.salt(s);
     let mask = (grp - 1) as u64;
+
+    // The member buckets of a group are fixed by `(s, base)` alone, so the
+    // gather order below is shape-determined; hint the full block list.
+    let mut schedule = Vec::with_capacity(grp * (z / b));
+    for m in 0..grp {
+        let first_block = (base + m * stride) * z / b;
+        schedule.extend(first_block..first_block + z / b);
+    }
+    store.hint_blocks(scratch, &schedule);
 
     let mut buckets = Vec::with_capacity(grp);
     for m in 0..grp {
@@ -1028,6 +1047,22 @@ where
             buf: Block::empty(b),
         })
         .collect();
+    // Hint a sliding window of the next MERGE_LOOKAHEAD blocks per cursor
+    // as the merge advances. Each hinted block belongs to the run its
+    // cursor is draining, so the physical read set is exactly the runs'
+    // blocks either way; the hints only shift *when* within the run a block
+    // may be fetched, which is determined by the cursor-advance schedule the
+    // trace already exposes — prefetching adds no address-trace information.
+    let heads: Vec<usize> = cursors
+        .iter()
+        .filter(|c| c.remaining > 0)
+        .flat_map(|c| {
+            (0..MERGE_LOOKAHEAD)
+                .take_while(|j| c.remaining > j * b)
+                .map(|j| c.block + j)
+        })
+        .collect();
+    store.hint_blocks(src, &heads);
     for c in cursors.iter_mut() {
         if c.remaining > 0 {
             c.buf = store.load_block(src, c.block);
@@ -1070,6 +1105,12 @@ where
             c.block += 1;
             c.buf = store.load_block(src, c.block);
             c.slot = 0;
+            // Slide the window: the initial hints covered the first
+            // MERGE_LOOKAHEAD blocks of the run, so each advance exposes
+            // exactly the one new block at the window's far edge.
+            if c.remaining > (MERGE_LOOKAHEAD - 1) * b {
+                store.hint_blocks(src, &[c.block + MERGE_LOOKAHEAD - 1]);
+            }
         }
     }
 

@@ -272,7 +272,19 @@ fn external_level<S, F>(
         // block belongs to exactly one pair (β, β + s/B) and all B element
         // compare-exchanges on that pair fuse into one read-modify-write
         // round trip. 2·(N/B) I/Os for the level.
+        //
+        // The whole level's read schedule is a function of (p, b, s) alone,
+        // so announce it up front: a prefetching store overlaps the reads
+        // with the compare-exchange work, every other store ignores it.
         let nb = p / b;
+        let mut schedule = Vec::with_capacity(nb);
+        for beta in 0..nb {
+            if (beta * b) & s == 0 {
+                schedule.push(beta);
+                schedule.push(beta + s / b);
+            }
+        }
+        store.hint_blocks(a, &schedule);
         for beta in 0..nb {
             let base = beta * b;
             if base & s == 0 {
@@ -295,6 +307,10 @@ fn external_level<S, F>(
         // block is dirtied and written back — the trace stays a function of
         // shape alone.
         let m_blocks = (cache_elems / b).max(2);
+        // First-touch order over the pair sequence is (near-)ascending in
+        // block index; the ascending hint covers every block the sweep reads.
+        let schedule: Vec<usize> = (0..p.div_ceil(b)).collect();
+        store.hint_blocks(a, &schedule);
         budget.with(m_blocks * b, |_| {
             let mut cache = BlockCache::new(store, *a, m_blocks);
             for i in 0..p {

@@ -385,6 +385,9 @@ fn write_labels<S: BlockStore>(
     let b = data.block_elems();
     let n = data.len();
     let mut rank = 0usize;
+    // One fixed forward sweep over the data blocks: advertise it all.
+    let schedule: Vec<usize> = (0..data.n_blocks()).collect();
+    store.hint_blocks(data, &schedule);
     for beta in 0..data.n_blocks() {
         budget.with(2 * b, |_| -> Result<(), OdoError> {
             let blk = store.load_block(data, beta);
@@ -566,11 +569,21 @@ fn external_level<S: BlockStore>(
     if k >= nb {
         return Ok(()); // no wire of this stride fits the array (shape-determined)
     }
-    let betas: Box<dyn Iterator<Item = usize>> = match dir {
-        Direction::Left => Box::new(0..nb - k),
-        Direction::Right => Box::new((0..nb - k).rev()),
+    let betas: Vec<usize> = match dir {
+        Direction::Left => (0..nb - k).collect(),
+        Direction::Right => (0..nb - k).rev().collect(),
     };
-    for beta in betas {
+    // Stay one block pair ahead of the sweep. Hinting the whole level up
+    // front would prefetch blocks the current pair is about to rewrite;
+    // one-pair lookahead keeps the read-ahead useful without churn.
+    if let Some(&first) = betas.first() {
+        store.hint_blocks(dist, &[first, first + k]);
+    }
+    for (idx, &beta) in betas.iter().enumerate() {
+        if let Some(&nxt) = betas.get(idx + 1) {
+            store.hint_blocks(dist, &[nxt, nxt + k]);
+            store.hint_blocks(data, &[nxt, nxt + k]);
+        }
         // Offsets hopping across this pair; B bits of private scratch. The
         // collision check runs inside the `modify_pair` closure, so a
         // conflict is recorded here and surfaced after the round trip.

@@ -48,9 +48,11 @@ pub mod sorter;
 pub use compact::{compact_order_preserving, expand, try_compact, try_expand, CompactReport};
 pub use error::OdoError;
 pub use extmem::{
-    AccessEvent, AccessOp, AccessTrace, ArrayHandle, AuthenticatedStore, Block, BlockCache,
-    BlockStore, CacheBudget, Cell, Config, ConfigError, Element, EncryptedStore, ExtMem, FaultKind,
-    FaultSpec, FaultStats, FaultyStore, IoStats, RetryPolicy, RetryStats, StoreError,
+    AccessEvent, AccessOp, AccessTrace, ArenaStats, ArrayHandle, AuthClientState,
+    AuthenticatedStore, BackingStore, Block, BlockArena, BlockCache, BlockStore, CacheBudget, Cell,
+    Config, ConfigError, Element, EncryptedStore, ExtMem, FaultKind, FaultSpec, FaultStats,
+    FaultyStore, FileStore, InjectedCrash, IoStats, PrefetchConfig, PrefetchStats,
+    PrefetchingStore, RetryPolicy, RetryStats, StoreError,
 };
 pub use obliv_net::{
     bitonic_sort_pow2, bucket_oblivious_sort, external_oblivious_sort, external_oblivious_sort_by,
@@ -77,8 +79,8 @@ pub mod prelude {
     pub use crate::{sort_with, try_sort};
     pub use extmem::{
         install_quiet_abort_hook, AuthenticatedStore, BlockStore, Cell, Config, Element,
-        EncryptedStore, ExtMem, FaultSpec, FaultyStore, IoStats, RetryPolicy, RetryStats,
-        StoreError,
+        EncryptedStore, ExtMem, FaultSpec, FaultyStore, FileStore, IoStats, PrefetchingStore,
+        RetryPolicy, RetryStats, StoreError,
     };
     pub use obliv_net::BucketSortConfig;
     pub use obliv_net::{

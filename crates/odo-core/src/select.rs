@@ -264,6 +264,7 @@ pub fn select_kth_with<S: BlockStore>(
         // survivors to a prefix with §3 compaction and shrink the window to
         // the shape-determined bound r'.
         let mut below = 0usize;
+        hint_sweep(store, &cur);
         for beta in 0..cur.n_blocks() {
             budget.with(2 * b, |_| {
                 let mut blk = store.load_block(&cur, beta);
@@ -291,6 +292,8 @@ pub fn select_kth_with<S: BlockStore>(
             "weighted-sample rank bounds cap the survivors: {survivors} > {r_next}"
         );
         let next = store.alloc_array(r_next);
+        let prefix: Vec<usize> = (0..next.n_blocks()).collect();
+        store.hint_blocks(&cur, &prefix);
         for beta in 0..next.n_blocks() {
             budget.with(b, |_| {
                 let blk = store.load_block(&cur, beta);
@@ -315,6 +318,7 @@ pub fn select_kth_with<S: BlockStore>(
     // full original element at the winning index — every block is read, the
     // match is latched CPU-side, so the index never shapes the trace.
     let mut found: Cell = None;
+    hint_sweep(store, h);
     for beta in 0..h.n_blocks() {
         budget.with(b, |_| {
             let blk = store.load_block(h, beta);
@@ -421,6 +425,7 @@ pub fn quantiles_with<S: BlockStore>(
 
     // Stream the sorted copy, latching each requested rank in a register.
     let mut picks: Vec<Cell> = vec![None; ranks.len()];
+    hint_sweep(store, &wrk);
     for beta in 0..wrk.n_blocks() {
         budget.with(b + 2 * ranks.len(), |_| {
             let blk = store.load_block(&wrk, beta);
@@ -438,6 +443,7 @@ pub fn quantiles_with<S: BlockStore>(
     // Recovery pass over the untouched input: resurrect every winner's full
     // element by its original index, all in one stream.
     let mut out: Vec<Cell> = vec![None; ranks.len()];
+    hint_sweep(store, h);
     for beta in 0..h.n_blocks() {
         budget.with(b + 2 * ranks.len(), |_| {
             let blk = store.load_block(h, beta);
@@ -458,6 +464,14 @@ pub fn quantiles_with<S: BlockStore>(
     (elems, store.io_stats() - start)
 }
 
+/// Advertises a full forward block sweep over `h` to the store. Every
+/// streaming pass in this module reads blocks `0..n_blocks` in order, a
+/// schedule fixed by the array shape alone, so hinting it leaks nothing.
+fn hint_sweep<S: BlockStore>(store: &mut S, h: &ArrayHandle) {
+    let schedule: Vec<usize> = (0..h.n_blocks()).collect();
+    store.hint_blocks(h, &schedule);
+}
+
 /// The shared working pass of [`select_kth`] and [`quantiles`]: streams the
 /// input once, replacing occupied cell `j` by the working item `(key, j)` in
 /// a freshly allocated parallel array — a strict total order even under
@@ -474,6 +488,7 @@ fn build_working_copy<S: BlockStore>(
     let n = h.len();
     let wrk = store.alloc_array(n);
     let mut live = 0usize;
+    hint_sweep(store, h);
     for beta in 0..h.n_blocks() {
         budget.with(2 * b, |_| {
             let blk = store.load_block(h, beta);
@@ -518,6 +533,7 @@ fn scan_splitters<S: BlockStore>(
     let len = samples.len();
     let mut lo: Cell = None;
     let mut hi: Cell = None;
+    hint_sweep(store, samples);
     for beta in 0..samples.n_blocks() {
         budget.with(b, |_| {
             let blk = store.load_block(samples, beta);
