@@ -50,6 +50,17 @@
 //! [`extmem::EncryptedStore`], asserting not just equal I/O counts but a
 //! **byte-identical access trace** (and, separately, that the trace is
 //! independent of the requested rank `k`).
+//!
+//! The hierarchical ORAM (`odo-oram`) is gated as a *composed* bound: one
+//! probe read per level per access plus, for every flush, a per-rebuild
+//! bound assembled pass by pass from the pipeline's structure and the
+//! sort/compaction bounds above ([`oram_io_bound`]). Level `j` is rebuilt
+//! every `2^(j+1)` flushes at `O(sort(cap_j))` I/Os, so the composed total
+//! telescopes to the paper's `O(log² n)` amortized block I/Os per access.
+//! Each `BENCH_oram.json` point reports the measured amortized I/Os and the
+//! wall clock of the identical access sequence over `ExtMem`, `FileStore`
+//! and `EncryptedStore<FileStore>`, with every file-backed trace asserted
+//! byte-identical to the simulator's.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -63,6 +74,8 @@ use obliv_net::bucket_sort::{bucket_oblivious_sort, BucketSortConfig, BucketSort
 use obliv_net::external_sort::{external_oblivious_sort, SortOrder, SortReport};
 use odo_core::compact::{compact, CompactReport};
 use odo_core::select::{select_kth, SelectReport};
+use odo_core::SortEngine;
+use oram::{LevelGeometry, Oram, OramConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -1762,6 +1775,403 @@ pub fn faults_to_table(results: &[FaultBenchResult]) -> String {
     s
 }
 
+/// One parameter point of the ORAM benchmark grid: the `(N, B, M)` model
+/// plus the ORAM's own two knobs — the flush period `P` and the length of
+/// the measured access sequence (the amortization window).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OramGridPoint {
+    /// Address-space size `n`.
+    pub n: usize,
+    /// Block size `B` in elements.
+    pub b: usize,
+    /// Private client cache `M` in elements (the rebuilds' sort and
+    /// compaction budget).
+    pub m: usize,
+    /// Flush period `P` (a power of two): the client cache drains into the
+    /// hierarchy every `P` accesses.
+    pub period: usize,
+    /// Accesses measured.
+    pub accesses: usize,
+}
+
+/// Fixed seed of every benchmarked ORAM, so the epoch salts — and with them
+/// the probe schedule and each rebuild's bucket-sort bin assignment — are
+/// reproducible across machines and PRs.
+pub const ORAM_BENCH_SEED: u64 = 0x04A7_0B5E;
+
+/// The engine-appropriate per-pass sort bound: Lemma 2's squared-log form
+/// for the bitonic engine, the `log_{M/B}` form for the bucket engine.
+fn sorter_pass_bound(engine: SortEngine, n: usize, b: usize, m: usize) -> u64 {
+    match engine {
+        SortEngine::Bitonic => sort_io_bound(n, b, m),
+        SortEngine::Bucket => bucket_sort_io_bound(n, b, m),
+    }
+}
+
+/// Analytic I/O bound of one rebuild into level `j`, composed pass by pass
+/// from the pipeline's fixed structure: collect (client span + every source
+/// table streamed once), two full sorts of the scratch region, two
+/// read-modify-write sweeps, one filler block per bucket, one §3
+/// order-preserving compaction, and the prefix copy into the table.
+fn oram_rebuild_bound(
+    geo: &[LevelGeometry],
+    client_blocks: usize,
+    b: usize,
+    m: usize,
+    j: usize,
+    engine: SortEngine,
+) -> u64 {
+    let g = &geo[j];
+    let scratch_cells = g.scratch_blocks * b;
+    let mut io = client_blocks as u64;
+    for src in &geo[..j] {
+        io += 2 * src.table_blocks as u64;
+    }
+    if j + 1 == geo.len() {
+        // The deepest level rebuilds into itself, consuming its own table.
+        io += 2 * g.table_blocks as u64;
+    }
+    io += 2 * sorter_pass_bound(engine, scratch_cells, b, m);
+    io += 4 * g.scratch_blocks as u64;
+    io += g.table_blocks as u64;
+    io += compact_io_bound(scratch_cells, b, m);
+    io += 2 * g.table_blocks as u64;
+    io
+}
+
+/// The composed analytic I/O bound for a run of `accesses` ORAM accesses:
+/// one probe read per level per access, plus [`oram_rebuild_bound`] for the
+/// level each flush actually targets (the binary-counter rule
+/// [`Oram::target_level`]). Every term is an explicit-constant upper bound
+/// on its pass, so the total upper-bounds the measured count — and since
+/// level `j` is rebuilt every `2^(j+1)` flushes at `O(sort(cap_j))` I/Os,
+/// the sum telescopes to the paper's `O(log² n)` amortized block I/Os per
+/// access.
+pub fn oram_io_bound(
+    geo: &[LevelGeometry],
+    client_blocks: usize,
+    b: usize,
+    m: usize,
+    period: u64,
+    accesses: u64,
+    engine: SortEngine,
+) -> u64 {
+    let levels = geo.len();
+    let mut total = accesses * levels as u64;
+    for f in 1..=accesses / period {
+        let j = Oram::target_level(f, levels);
+        total += oram_rebuild_bound(geo, client_blocks, b, m, j, engine);
+    }
+    total
+}
+
+/// Measured result of one ORAM grid point.
+#[derive(Clone, Debug)]
+pub struct OramBenchResult {
+    /// The parameters measured.
+    pub point: OramGridPoint,
+    /// Levels in the hierarchy (`O(log n)`).
+    pub levels: usize,
+    /// Rebuilds triggered during the window (`accesses / period`).
+    pub flushes: u64,
+    /// Server-side I/Os of the whole access sequence (probes + rebuilds).
+    pub io: IoStats,
+    /// The composed analytic bound [`oram_io_bound`].
+    pub bound_total: u64,
+    /// Whether the measured total satisfies the bound.
+    pub within_bound: bool,
+    /// Client stash size after the window (bucket-overflow reals).
+    pub stash_len: usize,
+    /// Wall clock of the identical sequence over `ExtMem`, `FileStore` and
+    /// `EncryptedStore<FileStore>` — `None` when run I/O-count-only. Every
+    /// file-backed run's trace is asserted byte-identical to `ExtMem`'s.
+    pub timings: Option<BackendNanos>,
+}
+
+impl OramBenchResult {
+    /// Measured amortized I/Os per access — the headline `O(log² n)` number.
+    pub fn amortized_ios(&self) -> f64 {
+        self.io.total() as f64 / self.point.accesses.max(1) as f64
+    }
+
+    /// The analytic bound, amortized per access.
+    pub fn bound_amortized(&self) -> f64 {
+        self.bound_total as f64 / self.point.accesses.max(1) as f64
+    }
+}
+
+/// Drives one ORAM through a request sequence, returning the read results
+/// in order.
+fn run_oram_requests<S: extmem::BlockStore>(
+    store: &mut S,
+    oram: &mut Oram,
+    reqs: &[(u64, Option<u64>)],
+) -> Vec<u64> {
+    let mut out = Vec::with_capacity(reqs.len());
+    for &(addr, write) in reqs {
+        match write {
+            Some(v) => oram.write(store, addr, v),
+            None => out.push(oram.read(store, addr)),
+        }
+    }
+    out
+}
+
+/// Measures one ORAM grid point: a deterministic mixed read/write sequence
+/// (hash-spread addresses, one write in three) over `ExtMem`, checked
+/// against a client-side mirror and gated by [`oram_io_bound`]. When
+/// `backends` is set the identical sequence replays over `FileStore` and
+/// `EncryptedStore<FileStore>`, each timed, each trace asserted
+/// byte-identical to the simulator's — same seed, same salts, same
+/// schedule, on disk and under encryption.
+pub fn run_oram_point(point: OramGridPoint, backends: bool) -> OramBenchResult {
+    use extmem::BlockStore;
+    let OramGridPoint {
+        n,
+        b,
+        m,
+        period,
+        accesses,
+    } = point;
+    let cfg = OramConfig::new(period, m, ORAM_BENCH_SEED);
+    let reqs: Vec<(u64, Option<u64>)> = (0..accesses as u64)
+        .map(|k| {
+            let addr = extmem::util::hash64(k, 0x0AC7) % n as u64;
+            if k.is_multiple_of(3) {
+                // Values shifted under 63 bits: the EncryptedStore contract.
+                (addr, Some(extmem::util::hash64(k, 0x7A1) >> 1))
+            } else {
+                (addr, None)
+            }
+        })
+        .collect();
+    let mut mirror = std::collections::HashMap::new();
+    let mut expected = Vec::new();
+    for &(addr, write) in &reqs {
+        match write {
+            Some(v) => {
+                mirror.insert(addr, v);
+            }
+            None => expected.push(mirror.get(&addr).copied().unwrap_or(0)),
+        }
+    }
+
+    let mut mem = ExtMem::new(b);
+    let mut oram = Oram::new(&mut mem, n as u64, &cfg);
+    let geo = oram.geometry();
+    let levels = oram.level_count();
+    let client_blocks = oram.client_slots() / b;
+    mem.enable_trace();
+    let before = mem.io_stats();
+    let (out, extmem_ns) = timed(|| run_oram_requests(&mut mem, &mut oram, &reqs));
+    let io = mem.io_stats() - before;
+    assert_eq!(
+        out, expected,
+        "ORAM read results diverged from the mirror at n={n} B={b} M={m} P={period}"
+    );
+    let mem_trace = mem.take_trace().expect("tracing was enabled");
+    let bound_total = oram_io_bound(
+        &geo,
+        client_blocks,
+        b,
+        m,
+        period as u64,
+        accesses as u64,
+        cfg.sorter.engine(),
+    );
+
+    let timings = backends.then(|| {
+        let mut fs = FileStore::temp(b).expect("tempdir-backed block file");
+        let mut foram = Oram::new(&mut fs, n as u64, &cfg);
+        fs.enable_trace();
+        let (fout, file_ns) = timed(|| run_oram_requests(&mut fs, &mut foram, &reqs));
+        assert_eq!(fout, expected, "file-backed ORAM results diverged at n={n}");
+        let ftrace = fs.take_trace().expect("tracing was enabled");
+        assert_eq!(
+            ftrace, mem_trace,
+            "FileStore ORAM trace must be byte-identical to ExtMem at n={n} B={b} M={m} P={period}"
+        );
+
+        let inner = FileStore::temp(b).expect("tempdir-backed block file");
+        let mut enc = EncryptedStore::with_backing(inner, 0x04A7_0002);
+        let mut eoram = Oram::new(&mut enc, n as u64, &cfg);
+        enc.enable_trace();
+        let (eout, encrypted_file_ns) = timed(|| run_oram_requests(&mut enc, &mut eoram, &reqs));
+        assert_eq!(eout, expected, "encrypted ORAM results diverged at n={n}");
+        let etrace = enc.take_trace().expect("tracing was enabled");
+        assert_eq!(
+            etrace, mem_trace,
+            "EncryptedStore<FileStore> ORAM trace must be byte-identical to ExtMem at n={n} B={b} M={m} P={period}"
+        );
+        BackendNanos {
+            extmem_ns,
+            file_ns,
+            encrypted_file_ns,
+        }
+    });
+
+    OramBenchResult {
+        point,
+        levels,
+        flushes: oram.flushes(),
+        io,
+        bound_total,
+        within_bound: io.total() <= bound_total,
+        stash_len: oram.stash_len(),
+        timings,
+    }
+}
+
+/// The full ORAM grid: three shapes, each deep enough that the deepest
+/// level's self-consuming rebuild fires at least once — except the last
+/// point, whose window stops short of it, pinning the partially-filled
+/// hierarchy's cost too.
+pub fn oram_default_grid() -> Vec<OramGridPoint> {
+    vec![
+        OramGridPoint {
+            n: 1 << 10,
+            b: 64,
+            m: 1 << 10,
+            period: 64,
+            accesses: 4096,
+        },
+        OramGridPoint {
+            n: 1 << 12,
+            b: 64,
+            m: 1 << 13,
+            period: 64,
+            accesses: 8192,
+        },
+        OramGridPoint {
+            n: 1 << 14,
+            b: 64,
+            m: 1 << 13,
+            period: 128,
+            accesses: 8192,
+        },
+    ]
+}
+
+/// The CI smoke grid: two small shapes (one with a deliberately tiny block
+/// size) cheap enough for every push, both reaching the deepest level's
+/// rebuild.
+pub fn oram_smoke_grid() -> Vec<OramGridPoint> {
+    vec![
+        OramGridPoint {
+            n: 1 << 10,
+            b: 64,
+            m: 1 << 10,
+            period: 64,
+            accesses: 2048,
+        },
+        OramGridPoint {
+            n: 1 << 10,
+            b: 8,
+            m: 1 << 8,
+            period: 16,
+            accesses: 2048,
+        },
+    ]
+}
+
+/// Renders the ORAM results as the `BENCH_oram.json` document (hand-rolled
+/// JSON; the workspace deliberately has no external dependencies).
+pub fn oram_to_json(results: &[OramBenchResult]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"benchmark\": \"hierarchical_oram\",\n");
+    s.push_str("  \"io_model\": \"1 I/O per block read or write, ExtMem::stats\",\n");
+    s.push_str(
+        "  \"bound\": \"probes + per-flush rebuild bounds composed from the sort/compact bounds (O(log^2 n) amortized per access)\",\n",
+    );
+    s.push_str("  \"points\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let OramGridPoint {
+            n,
+            b,
+            m,
+            period,
+            accesses,
+        } = r.point;
+        s.push_str("    {\n");
+        let _ = writeln!(s, "      \"n\": {n},");
+        let _ = writeln!(s, "      \"b\": {b},");
+        let _ = writeln!(s, "      \"m\": {m},");
+        let _ = writeln!(s, "      \"period\": {period},");
+        let _ = writeln!(s, "      \"accesses\": {accesses},");
+        let _ = writeln!(s, "      \"levels\": {},", r.levels);
+        let _ = writeln!(s, "      \"flushes\": {},", r.flushes);
+        let _ = writeln!(s, "      \"reads\": {},", r.io.reads);
+        let _ = writeln!(s, "      \"writes\": {},", r.io.writes);
+        let _ = writeln!(s, "      \"total_ios\": {},", r.io.total());
+        let _ = writeln!(
+            s,
+            "      \"amortized_ios_per_access\": {:.2},",
+            r.amortized_ios()
+        );
+        let _ = writeln!(s, "      \"bound_total\": {},", r.bound_total);
+        let _ = writeln!(
+            s,
+            "      \"bound_amortized_per_access\": {:.2},",
+            r.bound_amortized()
+        );
+        let _ = writeln!(s, "      \"stash_len\": {},", r.stash_len);
+        emit_elapsed(&mut s, r.timings.as_ref());
+        let _ = writeln!(s, "      \"within_bound\": {}", r.within_bound);
+        s.push_str("    }");
+        s.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Renders a human-readable table of the ORAM results.
+pub fn oram_to_table(results: &[OramBenchResult]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:>8} {:>4} {:>6} {:>4} {:>8} {:>6} {:>10} {:>9} {:>9} {:>8} {:>8} {:>6}",
+        "n",
+        "B",
+        "M",
+        "P",
+        "accesses",
+        "levels",
+        "I/Os",
+        "amort",
+        "bound/ac",
+        "file ms",
+        "enc ms",
+        "ok"
+    );
+    for r in results {
+        let OramGridPoint {
+            n,
+            b,
+            m,
+            period,
+            accesses,
+        } = r.point;
+        let _ = writeln!(
+            s,
+            "{:>8} {:>4} {:>6} {:>4} {:>8} {:>6} {:>10} {:>9.1} {:>9.1} {:>8} {:>8} {:>6}",
+            n,
+            b,
+            m,
+            period,
+            accesses,
+            r.levels,
+            r.io.total(),
+            r.amortized_ios(),
+            r.bound_amortized(),
+            fmt_ms(r.timings.map(|t| t.file_ns)),
+            fmt_ms(r.timings.map(|t| t.encrypted_file_ns)),
+            if r.within_bound { "yes" } else { "NO" }
+        );
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2140,5 +2550,53 @@ mod tests {
         assert_eq!(r.optimized.total(), 15 * 2 * 256);
         assert_eq!(r.report.external_levels, 10);
         assert_eq!(r.report.finish_passes, 4);
+    }
+
+    /// The ORAM's amortized-cost regression gate at the CI smoke points:
+    /// measured I/Os within the composed analytic bound, with the deepest
+    /// level's self-consuming rebuild exercised (`flushes` reaches
+    /// `2^(levels-1)`).
+    #[test]
+    fn oram_amortized_cost_is_within_the_composed_bound() {
+        for point in oram_smoke_grid() {
+            let r = run_oram_point(point, false);
+            assert!(
+                r.within_bound,
+                "ORAM exceeded its composed bound at n={} B={} M={} P={}: {} > {}",
+                point.n,
+                point.b,
+                point.m,
+                point.period,
+                r.io.total(),
+                r.bound_total
+            );
+            assert!(r.levels >= 2);
+            assert!(
+                r.flushes >= 1 << (r.levels - 1),
+                "the smoke window must reach the deepest level's rebuild"
+            );
+        }
+    }
+
+    #[test]
+    fn oram_json_has_all_points_and_fields() {
+        let results = vec![run_oram_point(
+            OramGridPoint {
+                n: 256,
+                b: 8,
+                m: 128,
+                period: 16,
+                accesses: 512,
+            },
+            true,
+        )];
+        let json = oram_to_json(&results);
+        assert!(json.contains("\"benchmark\": \"hierarchical_oram\""));
+        assert!(json.contains("\"amortized_ios_per_access\""));
+        assert!(json.contains("\"bound_amortized_per_access\""));
+        assert!(json.contains("\"within_bound\": true"));
+        assert!(json.contains("\"file_trace_identical\": true"));
+        assert!(!json.contains("\"elapsed_ns\": null"));
+        assert!(json.contains("\"stash_len\""));
     }
 }

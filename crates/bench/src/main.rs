@@ -1,6 +1,7 @@
-//! `odo-bench` binary: runs the sort, compaction, selection and fault-model
-//! benchmark grids and writes `BENCH_sort.json` / `BENCH_compact.json` /
-//! `BENCH_select.json` / `BENCH_faults.json` into the current directory.
+//! `odo-bench` binary: runs the sort, compaction, selection, fault-model
+//! and ORAM benchmark grids and writes `BENCH_sort.json` /
+//! `BENCH_compact.json` / `BENCH_select.json` / `BENCH_faults.json` /
+//! `BENCH_oram.json` into the current directory.
 //!
 //! Usage:
 //!
@@ -8,7 +9,7 @@
 //!   default grid (from the repo root, so the JSON lands next to
 //!   `Cargo.toml`).
 //! * `cargo run --release -p odo-bench -- select` — one benchmark only
-//!   (`sort`, `compact`, `select`, `faults`, or `all`).
+//!   (`sort`, `compact`, `select`, `faults`, `oram`, or `all`).
 //! * `cargo run --release -p odo-bench -- --smoke` — the `N = 2^12` smoke
 //!   grid: same emitters, same bound gates, cheap enough for every CI push
 //!   (JSON goes to `target/BENCH_*.smoke.json`, outside the working tree's
@@ -17,7 +18,8 @@
 
 use odo_bench::{
     check_fault_gates, compact_to_json, compact_to_table, default_grid, faults_to_json,
-    faults_to_table, run_compact_point, run_fault_grid, run_select_point, run_sort_point,
+    faults_to_table, oram_default_grid, oram_smoke_grid, oram_to_json, oram_to_table,
+    run_compact_point, run_fault_grid, run_oram_point, run_select_point, run_sort_point,
     select_to_json, select_to_table, smoke_grid, to_json, to_table, GridPoint,
 };
 
@@ -50,8 +52,11 @@ fn main() {
         .map(String::as_str)
         .unwrap_or("all");
     assert!(
-        matches!(which, "all" | "sort" | "compact" | "select" | "faults"),
-        "unknown benchmark {which:?}: expected sort, compact, select, faults, or all"
+        matches!(
+            which,
+            "all" | "sort" | "compact" | "select" | "faults" | "oram"
+        ),
+        "unknown benchmark {which:?}: expected sort, compact, select, faults, oram, or all"
     );
     let run = |name: &str| which == "all" || which == name;
     let grid = if smoke { smoke_grid() } else { default_grid() };
@@ -146,6 +151,28 @@ fn main() {
         println!("wrote {fpath}");
     }
 
+    // --- hierarchical ORAM amortized cost ---
+    let mut oresults = Vec::new();
+    if run("oram") {
+        let ogrid = if smoke {
+            oram_smoke_grid()
+        } else {
+            oram_default_grid()
+        };
+        for &point in &ogrid {
+            eprintln!(
+                "oram: measuring n={} B={} M={} P={} over {} accesses (extmem + timed file + encrypted-file backends, trace parity)...",
+                point.n, point.b, point.m, point.period, point.accesses
+            );
+            oresults.push(run_oram_point(point, true));
+        }
+        print!("{}", oram_to_table(&oresults));
+        let ojson = oram_to_json(&oresults);
+        let opath = artifact_path(smoke, "BENCH_oram");
+        std::fs::write(&opath, &ojson).expect("failed to write the ORAM benchmark JSON");
+        println!("wrote {opath}");
+    }
+
     // Enforce the acceptance gates so CI fails loudly on regressions: every
     // point within its bound, compaction and selection beating their naive
     // baselines at every point, and (full grid only) the headline speedups.
@@ -231,6 +258,33 @@ fn main() {
             );
             failed = true;
         }
+    }
+    for r in &oresults {
+        if !r.within_bound {
+            eprintln!(
+                "ORAM BOUND VIOLATION at n={} B={} M={} P={}: {} > {}",
+                r.point.n,
+                r.point.b,
+                r.point.m,
+                r.point.period,
+                r.io.total(),
+                r.bound_total
+            );
+            failed = true;
+        }
+    }
+    if let Some(r) = oresults.last() {
+        println!(
+            "oram headline (n={}, B={}, M={}, P={}): {:.1} amortized I/Os per access \
+             over {} levels, bound {:.1}",
+            r.point.n,
+            r.point.b,
+            r.point.m,
+            r.point.period,
+            r.amortized_ios(),
+            r.levels,
+            r.bound_amortized()
+        );
     }
     for msg in check_fault_gates(&fresults) {
         eprintln!("FAULT GATE VIOLATION: {msg}");

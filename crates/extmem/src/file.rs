@@ -67,6 +67,19 @@ pub const CELL_BYTES: usize = 24;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InjectedCrash;
 
+/// Byte offset of global block `addr` with `bytes` bytes per block,
+/// computed with both operands widened to `u64` *before* the multiply.
+/// `(addr * bytes) as u64` wraps silently in `usize` on 32-bit targets once
+/// a geometry crosses 4 GiB and then reads or writes the wrong block; the
+/// widened checked form cannot, and a product that genuinely exceeds `u64`
+/// (no real file can) panics loudly instead of truncating.
+#[inline]
+fn byte_offset(addr: usize, bytes: usize) -> u64 {
+    (addr as u64)
+        .checked_mul(bytes as u64)
+        .expect("file byte offset overflows u64")
+}
+
 /// Maps a real OS error to the typed [`StoreError`] vocabulary.
 fn map_io_err(addr: usize, e: &io::Error) -> StoreError {
     match e.kind() {
@@ -141,11 +154,31 @@ pub struct FileStore {
 static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 impl FileStore {
-    fn from_file(file: File, path: PathBuf, block_elems: usize, delete_on_drop: bool) -> Self {
+    fn from_file(
+        file: File,
+        path: PathBuf,
+        block_elems: usize,
+        delete_on_drop: bool,
+    ) -> Result<Self, StoreError> {
         assert!(block_elems >= 1, "block size must be at least 1");
-        let len = file.metadata().map(|m| m.len()).unwrap_or(0) as usize;
-        let n_blocks = len / (block_elems * CELL_BYTES);
-        FileStore {
+        // A stat failure here must surface, not default to an empty store:
+        // `unwrap_or(0)` would silently report `n_blocks == 0` and a reopen
+        // after a crash would "recover" a store with all its data invisible.
+        let len = match file.metadata() {
+            Ok(m) => m.len(),
+            Err(e) => {
+                // On Linux `fstat` on an open descriptor fails essentially
+                // only with EBADF — a descriptor already closed elsewhere.
+                // Dropping such a `File` double-closes and trips the
+                // runtime's IO-safety abort, so the error path must leak the
+                // handle rather than drop it.
+                let err = map_io_err(0, &e);
+                std::mem::forget(file);
+                return Err(err);
+            }
+        };
+        let n_blocks = (len / byte_offset(block_elems, CELL_BYTES)) as usize;
+        Ok(FileStore {
             file: Arc::new(file),
             path,
             block_elems,
@@ -156,33 +189,53 @@ impl FileStore {
             scratch: Vec::new(),
             delete_on_drop,
             crash_after: None,
-        }
+        })
     }
 
     /// Creates (truncating) a store file at `path` with block size
-    /// `block_elems`.
-    pub fn create(path: impl AsRef<Path>, block_elems: usize) -> io::Result<Self> {
+    /// `block_elems`. Open and stat failures surface as typed
+    /// [`StoreError`]s.
+    pub fn create(path: impl AsRef<Path>, block_elems: usize) -> Result<Self, StoreError> {
         let path = path.as_ref().to_path_buf();
         let file = File::options()
             .read(true)
             .write(true)
             .create(true)
             .truncate(true)
-            .open(&path)?;
-        Ok(Self::from_file(file, path, block_elems, false))
+            .open(&path)
+            .map_err(|e| map_io_err(0, &e))?;
+        Self::from_file(file, path, block_elems, false)
     }
 
     /// Reopens an existing store file (e.g. after a crash); the allocation
-    /// high-water mark is recovered from the file length.
-    pub fn open(path: impl AsRef<Path>, block_elems: usize) -> io::Result<Self> {
+    /// high-water mark is recovered from the file length, so a failing stat
+    /// is a typed [`StoreError`] — never a silently empty store.
+    pub fn open(path: impl AsRef<Path>, block_elems: usize) -> Result<Self, StoreError> {
         let path = path.as_ref().to_path_buf();
-        let file = File::options().read(true).write(true).open(&path)?;
-        Ok(Self::from_file(file, path, block_elems, false))
+        let file = File::options()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| map_io_err(0, &e))?;
+        Self::from_file(file, path, block_elems, false)
+    }
+
+    /// Wraps an already-open handle (e.g. one received across a privilege
+    /// boundary) as a store rooted at `path`. The same recovery rules as
+    /// [`FileStore::open`] apply: the allocation high-water mark comes from
+    /// `fstat`, and a stat failure (a dead or revoked descriptor) is a typed
+    /// [`StoreError`], never an empty store.
+    pub fn from_handle(
+        file: File,
+        path: impl AsRef<Path>,
+        block_elems: usize,
+    ) -> Result<Self, StoreError> {
+        Self::from_file(file, path.as_ref().to_path_buf(), block_elems, false)
     }
 
     /// Creates a store over a fresh uniquely-named file in the system temp
     /// directory, deleted when the store is dropped.
-    pub fn temp(block_elems: usize) -> io::Result<Self> {
+    pub fn temp(block_elems: usize) -> Result<Self, StoreError> {
         let path = std::env::temp_dir().join(format!(
             "odo-filestore-{}-{}.blocks",
             std::process::id(),
@@ -263,7 +316,7 @@ impl FileStore {
         let bytes = self.block_bytes();
         self.scratch.resize(bytes, 0);
         self.file
-            .read_exact_at(&mut self.scratch, (addr * bytes) as u64)
+            .read_exact_at(&mut self.scratch, byte_offset(addr, bytes))
             .map_err(|e| map_io_err(addr, &e))?;
         decode_block(&self.scratch, self.block_elems, &self.arena, addr)
     }
@@ -282,7 +335,7 @@ impl FileStore {
         encode_block(blk, &mut scratch);
         let res = self
             .file
-            .write_all_at(&scratch, (addr * bytes) as u64)
+            .write_all_at(&scratch, byte_offset(addr, bytes))
             .map_err(|e| map_io_err(addr, &e));
         self.scratch = scratch;
         res
@@ -323,7 +376,7 @@ impl FileStore {
         for i in 0..h.n_blocks() {
             let addr = h.global_block(i);
             self.file
-                .read_exact_at(&mut image, (addr * bytes) as u64)
+                .read_exact_at(&mut image, byte_offset(addr, bytes))
                 .expect("snapshot read failed");
             let blk = decode_block(&image, self.block_elems, &self.arena, addr)
                 .unwrap_or_else(|e| panic!("snapshot decode failed: {e}"));
@@ -363,7 +416,7 @@ impl BlockStore for FileStore {
         // Preallocate: extending with zeros makes every new block decode as
         // all-dummy, exactly like a fresh ExtMem block.
         self.file
-            .set_len((self.n_blocks * self.block_bytes()) as u64)
+            .set_len(byte_offset(self.n_blocks, self.block_bytes()))
             .expect("FileStore: preallocation (ftruncate) failed");
         ArrayHandle::new_raw(start_block, len_elements, self.block_elems)
     }
@@ -440,7 +493,7 @@ impl PrefetchRead for FileReader {
         let bytes = self.block_elems * CELL_BYTES;
         self.scratch.resize(bytes, 0);
         self.file
-            .read_exact_at(&mut self.scratch, (addr * bytes) as u64)
+            .read_exact_at(&mut self.scratch, byte_offset(addr, bytes))
             .map_err(|e| map_io_err(addr, &e))?;
         decode_block(&self.scratch, self.block_elems, &self.arena, addr)
     }
@@ -450,7 +503,7 @@ impl PrefetchRead for FileReader {
         self.scratch.resize(bytes * count, 0);
         if self
             .file
-            .read_exact_at(&mut self.scratch, (start * bytes) as u64)
+            .read_exact_at(&mut self.scratch, byte_offset(start, bytes))
             .is_err()
         {
             // The span read can cross damage a per-block read would dodge
@@ -507,7 +560,7 @@ impl Prefetchable for FileStore {
         }
         let res = self
             .file
-            .write_all_at(&scratch, (start * bytes) as u64)
+            .write_all_at(&scratch, byte_offset(start, bytes))
             .map_err(|e| map_io_err(start, &e));
         self.scratch = scratch;
         if res.is_err() {
@@ -531,6 +584,26 @@ mod tests {
 
     fn e(k: u64) -> Element {
         Element::new(k, k.wrapping_mul(7))
+    }
+
+    #[test]
+    fn byte_offsets_widen_before_multiplying() {
+        // A block address just past the 4 GiB line: in 32-bit `usize`
+        // arithmetic `addr * bytes` wraps (the pre-fix code computed the
+        // product in `usize` and only then widened), so pin the exact u64
+        // the widened form must produce.
+        let addr = (1usize << 28) + 3; // with 24-byte cells: > 6 GiB offset
+        assert_eq!(byte_offset(addr, CELL_BYTES), (addr as u64) * 24);
+        assert_eq!(
+            byte_offset(1 << 31, CELL_BYTES),
+            (1u64 << 31) * CELL_BYTES as u64
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn byte_offset_panics_on_true_u64_overflow() {
+        let _ = byte_offset(usize::MAX, usize::MAX);
     }
 
     #[test]

@@ -74,7 +74,7 @@
 //!   performs one uncontended lock round-trip and no syscalls.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 use crate::block::Block;
@@ -272,6 +272,59 @@ struct SharedSync {
     done: Condvar,
 }
 
+impl SharedSync {
+    /// Locks the shared state, *recovering* a poisoned mutex instead of
+    /// cascading the panic. The state is repairable by construction — see
+    /// [`repair`](SharedSync::repair) — so a thread that panicked while
+    /// holding the lock must not condemn every later client load to an
+    /// `.expect("prefetch state poisoned")` panic: the pool degrades to
+    /// synchronous reads for the orphaned claims and keeps serving.
+    fn lock_state(&self) -> MutexGuard<'_, Shared> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                let mut g = poisoned.into_inner();
+                self.state.clear_poison();
+                self.repair(&mut g);
+                g
+            }
+        }
+    }
+
+    /// Waits on `cv`, applying the same poison recovery as
+    /// [`lock_state`](SharedSync::lock_state) on wakeup.
+    fn wait_on<'a>(&self, cv: &Condvar, g: MutexGuard<'a, Shared>) -> MutexGuard<'a, Shared> {
+        match cv.wait(g) {
+            Ok(g) => g,
+            Err(poisoned) => {
+                let mut g = poisoned.into_inner();
+                self.state.clear_poison();
+                self.repair(&mut g);
+                g
+            }
+        }
+    }
+
+    /// Restores the shared invariants after a panic under the lock. The
+    /// panicking thread may have died owning in-flight claims, so demote
+    /// every `Fetching` slot to `Cancelled` (consumers fall back to a
+    /// synchronous read; a surviving worker parking into a `Cancelled` slot
+    /// just drops its block), zero the in-flight count, and wake every
+    /// sleeper so nobody keeps waiting on a fetch that will never park.
+    /// Surviving threads decrement `inflight` with saturating arithmetic,
+    /// so the zeroed count cannot underflow afterwards.
+    fn repair(&self, g: &mut Shared) {
+        for slot in &mut g.slots {
+            if matches!(slot, Slot::Fetching) {
+                *slot = Slot::Cancelled;
+            }
+        }
+        g.inflight = 0;
+        self.done.notify_all();
+        self.work.notify_all();
+    }
+}
+
 type SharedState = Arc<SharedSync>;
 
 fn worker_loop<R: PrefetchRead>(mut reader: R, shared: SharedState) {
@@ -279,7 +332,7 @@ fn worker_loop<R: PrefetchRead>(mut reader: R, shared: SharedState) {
     loop {
         // Claim up to a batch of queued addresses in one lock acquisition.
         {
-            let mut g = shared.state.lock().expect("prefetch state poisoned");
+            let mut g = shared.lock_state();
             loop {
                 if g.shutdown {
                     return;
@@ -297,32 +350,46 @@ fn worker_loop<R: PrefetchRead>(mut reader: R, shared: SharedState) {
                     break;
                 }
                 g.idle_workers += 1;
-                g = shared.work.wait(g).expect("prefetch state poisoned");
+                g = shared.wait_on(&shared.work, g);
                 g.idle_workers -= 1;
             }
         }
 
         // Fetch outside the lock, collapsing contiguous runs into span reads.
-        let mut results: Vec<(usize, Result<Block, StoreError>)> =
-            Vec::with_capacity(claimed.len());
-        let mut i = 0;
-        while i < claimed.len() {
-            let mut j = i + 1;
-            while j < claimed.len() && claimed[j] == claimed[j - 1] + 1 {
-                j += 1;
-            }
-            let start = claimed[i];
-            for (k, res) in reader.fetch_run(start, j - i).into_iter().enumerate() {
-                results.push((start + k, res));
-            }
-            i = j;
-        }
+        // A panicking reader must not take its claims (or the pool) down
+        // with it: catch the unwind and park every claimed address as a
+        // retryable `Transient` failure — the `try_*` path surfaces it as a
+        // typed `Err`, a plain reload falls back to a synchronous read, and
+        // the worker lives to serve the next batch.
+        let results: Vec<(usize, Result<Block, StoreError>)> =
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut results = Vec::with_capacity(claimed.len());
+                let mut i = 0;
+                while i < claimed.len() {
+                    let mut j = i + 1;
+                    while j < claimed.len() && claimed[j] == claimed[j - 1] + 1 {
+                        j += 1;
+                    }
+                    let start = claimed[i];
+                    for (k, res) in reader.fetch_run(start, j - i).into_iter().enumerate() {
+                        results.push((start + k, res));
+                    }
+                    i = j;
+                }
+                results
+            })) {
+                Ok(results) => results,
+                Err(_) => claimed
+                    .iter()
+                    .map(|&a| (a, Err(StoreError::Transient { addr: a })))
+                    .collect(),
+            };
         claimed.clear();
 
         // Park the whole batch under one more lock acquisition.
-        let mut g = shared.state.lock().expect("prefetch state poisoned");
+        let mut g = shared.lock_state();
         for (addr, res) in results {
-            g.inflight -= 1;
+            g.inflight = g.inflight.saturating_sub(1);
             match g.slot(addr) {
                 Slot::Fetching => match res {
                     Ok(blk) => {
@@ -449,7 +516,7 @@ impl<S: Prefetchable> PrefetchingStore<S> {
         let mut wb = std::mem::take(&mut self.wb);
         wb.sort_by_key(|(a, _)| *a);
         {
-            let mut g = self.shared.state.lock().expect("prefetch state poisoned");
+            let mut g = self.shared.lock_state();
             for (a, _) in &wb {
                 debug_assert!(matches!(g.slot(*a), Slot::Buffered));
                 g.set(*a, Slot::Empty);
@@ -479,7 +546,7 @@ impl<S: Prefetchable> PrefetchingStore<S> {
     /// `addr` now lives here; any prefetch state for it is invalidated) and
     /// flushes when the buffer fills.
     fn buffer_write(&mut self, addr: usize, blk: Block) -> Result<(), StoreError> {
-        let mut g = self.shared.state.lock().expect("prefetch state poisoned");
+        let mut g = self.shared.lock_state();
         match g.slot(addr) {
             Slot::Buffered => {
                 drop(g);
@@ -545,7 +612,7 @@ impl<S: Prefetchable> PrefetchingStore<S> {
     }
 
     fn take_prefetched(&mut self, addr: usize) -> Option<Result<Block, StoreError>> {
-        let mut g = self.shared.state.lock().expect("prefetch state poisoned");
+        let mut g = self.shared.lock_state();
         loop {
             match g.slot(addr) {
                 Slot::Empty => {
@@ -578,8 +645,8 @@ impl<S: Prefetchable> PrefetchingStore<S> {
                     let first = results.remove(0);
                     self.prefetch_stats.steals += 1;
 
-                    g = self.shared.state.lock().expect("prefetch state poisoned");
-                    g.inflight -= run;
+                    g = self.shared.lock_state();
+                    g.inflight = g.inflight.saturating_sub(run);
                     g.set(addr, Slot::Empty);
                     for (k, res) in results.into_iter().enumerate() {
                         let a = addr + 1 + k;
@@ -609,7 +676,7 @@ impl<S: Prefetchable> PrefetchingStore<S> {
                 Slot::Fetching => {
                     self.prefetch_stats.waits += 1;
                     g.fg_waiting += 1;
-                    g = self.shared.done.wait(g).expect("prefetch state poisoned");
+                    g = self.shared.wait_on(&self.shared.done, g);
                     g.fg_waiting -= 1;
                 }
                 Slot::Ready(_) => {
@@ -651,7 +718,7 @@ impl<S: Prefetchable> PrefetchingStore<S> {
     }
 
     fn invalidate(&mut self, addr: usize) {
-        let mut g = self.shared.state.lock().expect("prefetch state poisoned");
+        let mut g = self.shared.lock_state();
         match g.slot(addr) {
             Slot::Ready(_) => {
                 g.set(addr, Slot::Empty);
@@ -683,7 +750,7 @@ impl<S: Prefetchable> Drop for PrefetchingStore<S> {
         // first, which do propagate it.
         let _ = self.flush_writes();
         {
-            let mut g = self.shared.state.lock().expect("prefetch state poisoned");
+            let mut g = self.shared.lock_state();
             g.shutdown = true;
             g.queue.clear();
             self.shared.work.notify_all();
@@ -719,7 +786,7 @@ impl<S: Prefetchable> BlockStore for PrefetchingStore<S> {
     }
 
     fn hint_blocks(&mut self, h: &ArrayHandle, blocks: &[usize]) {
-        let mut g = self.shared.state.lock().expect("prefetch state poisoned");
+        let mut g = self.shared.lock_state();
         for &i in blocks {
             let addr = h.global_block(i);
             if matches!(g.slot(addr), Slot::Empty) {
@@ -859,6 +926,34 @@ mod tests {
             store.take_trace().unwrap()
         };
         assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn a_poisoned_mutex_is_recovered_not_cascaded() {
+        crate::retry::install_quiet_abort_hook();
+        let mut store = temp_prefetching(2);
+        let h = store
+            .inner_mut()
+            .alloc_array_from_elements(&(0..8).map(e).collect::<Vec<_>>());
+        // Poison the shared mutex exactly the way a crashed thread would:
+        // panic while holding the lock. (The typed `StoreAbort` payload only
+        // keeps the quiet panic hook from spamming test output.)
+        let shared = Arc::clone(&store.shared);
+        let _ = std::thread::spawn(move || {
+            let _g = shared.state.lock().unwrap();
+            std::panic::panic_any(crate::retry::StoreAbort(StoreError::Transient { addr: 0 }));
+        })
+        .join();
+        assert!(store.shared.state.is_poisoned(), "setup must poison");
+        // Pre-fix every later client load died on
+        // `.expect("prefetch state poisoned")`; now the guard is recovered
+        // and the store keeps serving — including fresh hints.
+        assert_eq!(store.load_block(&h, 0).occupied()[0], e(0));
+        assert!(!store.shared.state.is_poisoned(), "lock must be repaired");
+        store.hint_blocks(&h, &[1, 2, 3]);
+        for i in 1..4 {
+            assert_eq!(store.load_block(&h, i).occupied()[0], e(i as u64 * 2));
+        }
     }
 
     #[test]

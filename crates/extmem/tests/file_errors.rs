@@ -1,0 +1,49 @@
+//! Regression: a stat failure while sizing a [`FileStore`] must surface as a
+//! typed [`StoreError`], not silently size the store at `n_blocks == 0`.
+//!
+//! The pre-fix constructor ran `file.metadata().map(|m| m.len()).unwrap_or(0)`
+//! — on a stat error a reopened store would "recover" with every block
+//! invisible. `fstat` on a healthy descriptor essentially never fails on
+//! Linux, so the test manufactures the failure directly: duplicate ownership
+//! of one raw fd, close it through the first owner, and hand the now-dangling
+//! second `File` to [`FileStore::from_handle`] — its `fstat` fails with
+//! `EBADF`.
+//!
+//! One test only: the dangling-fd trick depends on the closed fd number not
+//! being reused between `drop` and `from_handle`, and sibling tests running
+//! on other threads open files of their own. Keeping this file single-test
+//! keeps the window race-free.
+
+use std::fs::File;
+use std::os::fd::{AsRawFd, FromRawFd};
+
+use extmem::{FileStore, StoreError};
+
+#[test]
+fn stat_failure_is_a_typed_error_not_an_empty_store() {
+    let dir = std::env::temp_dir().join(format!("odo-file-errors-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("blocks.odo");
+    // A real, non-empty store file: if the buggy path were still live it
+    // would report n_blocks == 0 for this file, hiding all of its data.
+    std::fs::write(&path, vec![0u8; 24 * 4 * 8]).unwrap();
+
+    let owner = File::open(&path).unwrap();
+    // SAFETY: deliberate double ownership of `owner`'s fd. `owner` is
+    // dropped (closing the fd) before `dead` is used, so every operation on
+    // `dead` fails with EBADF — exactly the stat failure under test. `dead`
+    // is consumed by `from_handle`, whose stat-error path leaks the handle
+    // instead of double-closing it (which would abort the process via the
+    // runtime's IO-safety check).
+    let dead = unsafe { File::from_raw_fd(owner.as_raw_fd()) };
+    drop(owner);
+
+    let err = FileStore::from_handle(dead, &path, 4)
+        .expect_err("a failing stat must not produce an (empty) store");
+    assert!(
+        matches!(err, StoreError::Io { addr: 0, .. }),
+        "EBADF should map to the Io lane, got {err:?}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

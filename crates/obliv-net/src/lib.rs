@@ -57,3 +57,22 @@ pub use external_sort::{
 };
 pub use network::{Comparator, Network};
 pub use shellsort::randomized_shellsort;
+
+/// Announces the strictly sequential block-read schedule `[lo, hi)` of
+/// array `h` in one [`hint_blocks`](extmem::BlockStore::hint_blocks) call,
+/// so a prefetching store coalesces the whole range into span reads. The
+/// sort passes build richer stride-shaped schedules by hand; the purely
+/// sequential consumers — the ORAM rebuild pipeline's collect, suppress,
+/// keep and copy passes above this crate, and any future streaming pass —
+/// share this helper instead of each re-rolling the same vector.
+pub fn hint_block_range<S: extmem::BlockStore>(
+    store: &mut S,
+    h: &extmem::ArrayHandle,
+    lo: usize,
+    hi: usize,
+) {
+    if hi > lo {
+        let schedule: Vec<usize> = (lo..hi).collect();
+        store.hint_blocks(h, &schedule);
+    }
+}

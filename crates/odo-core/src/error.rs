@@ -44,6 +44,15 @@ pub enum OdoError {
         /// The cell index where the disagreement was detected.
         cell: usize,
     },
+    /// A stateful client object (the ORAM) was used after a fatal error
+    /// left it mid-operation. Hierarchical state (cache, level occupancy,
+    /// epoch salts) may be inconsistent with the server image, so further
+    /// accesses could silently return stale data — the client refuses
+    /// instead. Rebuild the client from scratch to recover.
+    InvalidState {
+        /// What the client was in the middle of when it failed.
+        reason: &'static str,
+    },
     /// A randomized bucket-sort pass overflowed a bucket; retry with a
     /// fresh seed (probability `≈ exp(−Z/6)` per bucket-level).
     BucketOverflow {
@@ -70,6 +79,12 @@ impl fmt::Display for OdoError {
             OdoError::Store(e) => write!(f, "store error: {e}"),
             OdoError::Config(e) => write!(f, "configuration error: {e}"),
             OdoError::InvalidArgument { reason } => write!(f, "{reason}"),
+            OdoError::InvalidState { reason } => {
+                write!(
+                    f,
+                    "client state is poisoned by an earlier failure: {reason}"
+                )
+            }
             OdoError::CorruptedRouting { reason, cell } => {
                 write!(f, "corrupted routing state at cell {cell}: {reason}")
             }

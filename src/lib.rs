@@ -6,10 +6,11 @@
 //! façade: the machine model lives in `odo-extmem`, the sorting networks and
 //! the external oblivious sort in `odo-obliv-net`, the §3 external butterfly
 //! compaction (and its reverse, expansion) in `odo-core::compact`, the §4
-//! selection and quantiles in `odo-core::select`, naive baselines in
+//! selection and quantiles in `odo-core::select`, the hierarchical ORAM
+//! built from those primitives in `odo-oram`, naive baselines in
 //! `odo-baseline`, and the I/O-count benchmark harness in `odo-bench`
 //! (binary: `odo-bench`, emitting `BENCH_sort.json`, `BENCH_compact.json`,
-//! `BENCH_select.json` and `BENCH_faults.json`).
+//! `BENCH_select.json`, `BENCH_faults.json` and `BENCH_oram.json`).
 //!
 //! The server is modeled as *untrusted*, not merely curious: wrap any store
 //! in `extmem::AuthenticatedStore` and use the fallible `try_sort` /
@@ -28,4 +29,11 @@
 pub use odo_core as core_alg;
 
 pub use baseline as baseline_alg;
-pub use odo_core::prelude;
+pub use oram as oram_sim;
+
+/// One-stop imports: everything `odo_core::prelude` exports plus the
+/// hierarchical ORAM client.
+pub mod prelude {
+    pub use odo_core::prelude::*;
+    pub use oram::{LevelGeometry, Oram, OramConfig};
+}
