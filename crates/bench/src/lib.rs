@@ -145,6 +145,12 @@ pub struct SortTimings {
     /// wall-clock comparison: shape-derived read-ahead against the plain
     /// file store's synchronous loads (`bucket.file_ns`).
     pub bucket_prefetch_ns: u64,
+    /// The bucket engine over `Prefetching(Encrypted(FileStore))` — the
+    /// span-pipeline comparison: decrypt-ahead workers and batched-keystream
+    /// span writes against the plain encrypted store's synchronous
+    /// decrypt-on-load (`bucket.encrypted_file_ns`), interleaved min-of-N
+    /// like the plaintext pair.
+    pub encrypted_prefetch_ns: u64,
 }
 
 /// Measured result of one grid point.
@@ -312,9 +318,15 @@ fn run_encrypted_bucket_sort<S: extmem::BackingStore>(
 /// I/Os, which is cheap to simulate but noisy to read), and — when
 /// `backends` is set — the wall-clock backend sweep: both engines over
 /// `FileStore` and `Encrypted(FileStore)` plus the bucket engine over
-/// `PrefetchingStore<FileStore>`, every file-backed trace asserted
-/// byte-identical to the `ExtMem` reference. Panics if any sorter fails to
-/// actually sort — a benchmark of a wrong algorithm is meaningless.
+/// `PrefetchingStore<FileStore>` and `Prefetching(Encrypted(FileStore))`
+/// (decrypt-ahead workers against the batched-keystream span path), every
+/// file-backed trace asserted byte-identical to the `ExtMem` reference. The
+/// full `Prefetching(Auth(Encrypted(FileStore)))` stack also runs once on
+/// two same-shape inputs and must produce identical logical traces and I/O
+/// counts — the MAC arrays shift the address layout, so data-independence
+/// rather than ExtMem byte-parity is the assertable property there. Panics
+/// if any sorter fails to actually sort — a benchmark of a wrong algorithm
+/// is meaningless.
 pub fn run_sort_point(point: GridPoint, run_naive: bool, backends: bool) -> SortBenchResult {
     let GridPoint { n, b, m } = point;
     let input = bench_input(n, 0xB0B);
@@ -429,7 +441,8 @@ pub fn run_sort_point(point: GridPoint, run_naive: bool, backends: bool) -> Sort
     // run's *logical* trace — recorded in foreground request order — must
     // still match the simulator's byte for byte: read-ahead is a latency
     // optimization, never a visible access-pattern change.
-    let (bucket_file_ns, bucket_prefetch_ns) = if backends {
+    let (bucket_file_ns, bucket_prefetch_ns, bucket_encfile_ns, encrypted_prefetch_ns) = if backends
+    {
         // Min-of-N on the two wall-clock-gated runs, with the repetitions
         // INTERLEAVED (plain, prefetch, plain, prefetch, ...) so both
         // backends sample the same noise windows — VM clock drift across a
@@ -441,6 +454,8 @@ pub fn run_sort_point(point: GridPoint, run_naive: bool, backends: bool) -> Sort
         const WALL_CLOCK_REPS: usize = 5;
         let mut file_ns = u64::MAX;
         let mut prefetch_ns = u64::MAX;
+        let mut encfile_ns = u64::MAX;
+        let mut enc_prefetch_ns = u64::MAX;
         for _ in 0..WALL_CLOCK_REPS {
             let mut fs = FileStore::temp(b).expect("tempdir-backed block file");
             let fh = fs.alloc_array_from_elements(&input);
@@ -487,10 +502,118 @@ pub fn run_sort_point(point: GridPoint, run_naive: bool, backends: bool) -> Sort
                 ptrace, btrace,
                 "PrefetchingStore bucket trace must be byte-identical to ExtMem at N={n} B={b} M={m}"
             );
+
+            // The encrypted pair, interleaved the same way: the plain
+            // `Encrypted(FileStore)` (synchronous decrypt-on-load) against
+            // `Prefetching(Encrypted(FileStore))` — decrypt-ahead workers,
+            // batched keystream, write-behind spans re-encrypted off the
+            // foreground thread.
+            let (eio, etrace, ns) = run_encrypted_bucket_sort(
+                EncryptedStore::with_backing(
+                    FileStore::temp(b).expect("tempdir-backed block file"),
+                    0x50F8,
+                ),
+                &ecells,
+                m,
+                &expected,
+                &bcfg,
+            );
+            encfile_ns = encfile_ns.min(ns);
+            assert_eq!(eio, bucket, "encrypted bucket I/Os diverged");
+            assert_eq!(etrace, btrace, "encrypted bucket trace diverged");
+
+            let mut penc = EncryptedStore::with_backing(
+                FileStore::temp(b).expect("tempdir-backed block file"),
+                0x50F8,
+            );
+            let peh = penc.alloc_array_from_cells(&ecells);
+            let mut pes = PrefetchingStore::new(penc);
+            pes.enable_trace();
+            let (perep, ns) = timed(|| {
+                let rep = bucket_oblivious_sort(&mut pes, &peh, m, SortOrder::Ascending, &bcfg)
+                    .unwrap_or_else(|e| panic!("encrypted prefetching bucket sort failed: {e}"));
+                pes.flush_writes()
+                    .unwrap_or_else(|e| panic!("write-behind flush failed: {e}"));
+                rep
+            });
+            enc_prefetch_ns = enc_prefetch_ns.min(ns);
+            assert_eq!(
+                pes.inner()
+                    .snapshot_cells(&peh)
+                    .into_iter()
+                    .flatten()
+                    .collect::<Vec<_>>(),
+                expected,
+                "encrypted prefetching bucket sort mis-sorted at N={n} B={b} M={m}"
+            );
+            assert_eq!(
+                perep.io, bucket,
+                "encrypted prefetching bucket I/Os diverged"
+            );
+            let petrace = pes.take_trace().expect("tracing was enabled");
+            assert_eq!(
+                petrace, btrace,
+                "Prefetching(Encrypted(FileStore)) bucket trace must be byte-identical to ExtMem \
+                 at N={n} B={b} M={m}"
+            );
         }
-        (file_ns, prefetch_ns)
+
+        // Full-stack obliviousness: a sort through
+        // `Prefetching(Auth(Encrypted(FileStore)))` — spans MACed as a
+        // batch on write, verified ahead on worker threads. The auth layer
+        // interleaves MAC arrays into the address space, so its layout (and
+        // hence its trace) cannot be compared to ExtMem's; instead the
+        // logical trace is asserted *data-independent*: two different
+        // same-shape inputs must produce byte-identical traces and I/Os.
+        // The Lemma 2 engine is the right probe here — its trace is a
+        // function of shape alone, while the bucket engine's is a
+        // deterministic function of (shape, seed, data).
+        {
+            use extmem::{AuthenticatedStore, BlockStore};
+            let run_full_stack = |cells: &[Cell]| {
+                let enc = EncryptedStore::with_backing(
+                    FileStore::temp(b).expect("tempdir-backed block file"),
+                    0x50F8,
+                );
+                let mut auth = AuthenticatedStore::new(enc, 0x4D4143);
+                let ah = BlockStore::alloc_array(&mut auth, cells.len());
+                auth.try_store_span(&ah, 0, cells)
+                    .unwrap_or_else(|e| panic!("full-stack populate failed: {e}"));
+                let mut ps = PrefetchingStore::new(auth);
+                ps.enable_trace();
+                let rep = external_oblivious_sort(&mut ps, &ah, m, SortOrder::Ascending);
+                ps.flush_writes()
+                    .unwrap_or_else(|e| panic!("write-behind flush failed: {e}"));
+                let trace = ps.take_trace().expect("tracing was enabled");
+                let mut sorted = Vec::with_capacity(cells.len());
+                for i in 0..ah.n_blocks() {
+                    let blk = ps.load_block(&ah, i);
+                    sorted.extend(blk.slots().iter().flatten().copied());
+                    ps.recycle(blk);
+                }
+                (rep.io, trace, sorted)
+            };
+            let (io_a, trace_a, sorted_a) = run_full_stack(&ecells);
+            assert_eq!(
+                sorted_a, expected,
+                "full-stack sort mis-sorted at N={n} B={b} M={m}"
+            );
+            let other_input = bench_input(n, 0xB0C);
+            let other_cells: Vec<Cell> = other_input.iter().copied().map(Some).collect();
+            let (io_b, trace_b, _) = run_full_stack(&other_cells);
+            assert_eq!(
+                io_a, io_b,
+                "full-stack I/O counts must be input-independent at N={n} B={b} M={m}"
+            );
+            assert_eq!(
+                trace_a, trace_b,
+                "Prefetching(Auth(Encrypted(FileStore))) traces must be byte-identical across \
+                 same-shape inputs at N={n} B={b} M={m}"
+            );
+        }
+        (file_ns, prefetch_ns, encfile_ns, enc_prefetch_ns)
     } else {
-        (0, 0)
+        (0, 0, bucket_encfile_ns, 0)
     };
 
     let (naive, naive_levels) = if run_naive {
@@ -521,6 +644,7 @@ pub fn run_sort_point(point: GridPoint, run_naive: bool, backends: bool) -> Sort
             encrypted_file_ns: bucket_encfile_ns,
         },
         bucket_prefetch_ns,
+        encrypted_prefetch_ns,
     });
     SortBenchResult {
         point,
@@ -1038,6 +1162,11 @@ pub fn to_json(results: &[SortBenchResult]) -> String {
                     t.bucket.extmem_ns, t.bucket.file_ns, t.bucket.encrypted_file_ns
                 );
                 let _ = writeln!(s, "      \"bucket_prefetch_ns\": {},", t.bucket_prefetch_ns);
+                let _ = writeln!(
+                    s,
+                    "      \"encrypted_prefetch_ns\": {},",
+                    t.encrypted_prefetch_ns
+                );
                 // run_sort_point asserts every file-backed trace is
                 // byte-identical to the ExtMem reference before a timing is
                 // ever recorded.
@@ -1047,6 +1176,7 @@ pub fn to_json(results: &[SortBenchResult]) -> String {
                 s.push_str("      \"lemma2_elapsed_ns\": null,\n");
                 s.push_str("      \"bucket_elapsed_ns\": null,\n");
                 s.push_str("      \"bucket_prefetch_ns\": null,\n");
+                s.push_str("      \"encrypted_prefetch_ns\": null,\n");
             }
         }
         let _ = writeln!(s, "      \"region_elems\": {},", r.report.region_elems);
@@ -1886,6 +2016,12 @@ pub struct OramBenchResult {
     /// `EncryptedStore<FileStore>` — `None` when run I/O-count-only. Every
     /// file-backed run's trace is asserted byte-identical to `ExtMem`'s.
     pub timings: Option<BackendNanos>,
+    /// Wall clock of the identical sequence over
+    /// `Prefetching(Encrypted(FileStore))` — decrypt-ahead workers plus
+    /// write-behind span encryption, flushed inside the timed region. Its
+    /// logical trace is asserted byte-identical to `ExtMem`'s. `None` when
+    /// run I/O-count-only.
+    pub encrypted_prefetch_ns: Option<u64>,
 }
 
 impl OramBenchResult {
@@ -1920,10 +2056,11 @@ fn run_oram_requests<S: extmem::BlockStore>(
 /// Measures one ORAM grid point: a deterministic mixed read/write sequence
 /// (hash-spread addresses, one write in three) over `ExtMem`, checked
 /// against a client-side mirror and gated by [`oram_io_bound`]. When
-/// `backends` is set the identical sequence replays over `FileStore` and
-/// `EncryptedStore<FileStore>`, each timed, each trace asserted
-/// byte-identical to the simulator's — same seed, same salts, same
-/// schedule, on disk and under encryption.
+/// `backends` is set the identical sequence replays over `FileStore`,
+/// `EncryptedStore<FileStore>` and `Prefetching(Encrypted(FileStore))`
+/// (decrypt-ahead workers, write-behind flushed on the clock), each timed,
+/// each trace asserted byte-identical to the simulator's — same seed, same
+/// salts, same schedule, on disk and under encryption.
 pub fn run_oram_point(point: OramGridPoint, backends: bool) -> OramBenchResult {
     use extmem::BlockStore;
     let OramGridPoint {
@@ -2010,6 +2147,30 @@ pub fn run_oram_point(point: OramGridPoint, backends: bool) -> OramBenchResult {
         }
     });
 
+    let encrypted_prefetch_ns = backends.then(|| {
+        let inner = FileStore::temp(b).expect("tempdir-backed block file");
+        let enc = EncryptedStore::with_backing(inner, 0x04A7_0002);
+        let mut ps = PrefetchingStore::new(enc);
+        let mut poram = Oram::new(&mut ps, n as u64, &cfg);
+        ps.enable_trace();
+        // The flush belongs inside the timed region: write-behind only
+        // counts as a win if the encrypt-and-land cost is paid on the clock.
+        let (pout, ns) = timed(|| {
+            let out = run_oram_requests(&mut ps, &mut poram, &reqs);
+            ps.flush_writes()
+                .unwrap_or_else(|e| panic!("write-behind flush failed: {e}"));
+            out
+        });
+        assert_eq!(pout, expected, "prefetched ORAM results diverged at n={n}");
+        let ptrace = ps.take_trace().expect("tracing was enabled");
+        assert_eq!(
+            ptrace, mem_trace,
+            "Prefetching(Encrypted(FileStore)) ORAM logical trace must be \
+             byte-identical to ExtMem at n={n} B={b} M={m} P={period}"
+        );
+        ns
+    });
+
     OramBenchResult {
         point,
         levels,
@@ -2019,6 +2180,7 @@ pub fn run_oram_point(point: OramGridPoint, backends: bool) -> OramBenchResult {
         within_bound: io.total() <= bound_total,
         stash_len: oram.stash_len(),
         timings,
+        encrypted_prefetch_ns,
     }
 }
 
@@ -2117,6 +2279,12 @@ pub fn oram_to_json(results: &[OramBenchResult]) -> String {
         );
         let _ = writeln!(s, "      \"stash_len\": {},", r.stash_len);
         emit_elapsed(&mut s, r.timings.as_ref());
+        match r.encrypted_prefetch_ns {
+            Some(ns) => {
+                let _ = writeln!(s, "      \"encrypted_prefetch_ns\": {ns},");
+            }
+            None => s.push_str("      \"encrypted_prefetch_ns\": null,\n"),
+        }
         let _ = writeln!(s, "      \"within_bound\": {}", r.within_bound);
         s.push_str("    }");
         s.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
@@ -2249,7 +2417,9 @@ mod tests {
         assert_eq!(json.matches("\"lemma2_elapsed_ns\"").count(), 2);
         assert_eq!(json.matches("\"bucket_elapsed_ns\"").count(), 2);
         assert_eq!(json.matches("\"bucket_prefetch_ns\"").count(), 2);
+        assert_eq!(json.matches("\"encrypted_prefetch_ns\"").count(), 2);
         assert!(json.contains("\"file_trace_identical\": true"));
+        assert!(!json.contains("\"encrypted_prefetch_ns\": null"));
         assert!(!json.contains("\"lemma2_elapsed_ns\": null"));
     }
 
@@ -2597,6 +2767,8 @@ mod tests {
         assert!(json.contains("\"within_bound\": true"));
         assert!(json.contains("\"file_trace_identical\": true"));
         assert!(!json.contains("\"elapsed_ns\": null"));
+        assert!(json.contains("\"encrypted_prefetch_ns\""));
+        assert!(!json.contains("\"encrypted_prefetch_ns\": null"));
         assert!(json.contains("\"stash_len\""));
     }
 }

@@ -352,6 +352,31 @@ fn main() {
                         );
                     }
                 }
+                // The encrypted headline: decrypt-ahead workers plus the
+                // batched keystream span path must beat synchronous
+                // decrypt-on-load over the same encrypted file.
+                let enc_ms = t.bucket.encrypted_file_ns as f64 / 1e6;
+                let epf_ms = t.encrypted_prefetch_ns as f64 / 1e6;
+                println!(
+                    "wall-clock headline (N=2^18, B=64, M=2^13, bucket): \
+                     Encrypted(FileStore) {enc_ms:.1} ms vs \
+                     Prefetching(Encrypted(FileStore)) {epf_ms:.1} ms — {:.2}x",
+                    enc_ms / epf_ms.max(1e-9)
+                );
+                if t.encrypted_prefetch_ns >= t.bucket.encrypted_file_ns {
+                    eprintln!(
+                        "ENCRYPTED PREFETCH HEADLINE REGRESSION: \
+                         Prefetching(Encrypted(FileStore)) {epf_ms:.1} ms >= \
+                         Encrypted(FileStore) {enc_ms:.1} ms on the bucket sort"
+                    );
+                    if wall_clock_gate {
+                        failed = true;
+                    } else {
+                        eprintln!(
+                            "(wall-clock gate disabled by --no-wall-clock-gate; not failing)"
+                        );
+                    }
+                }
             }
         }
         if let Some(r) = cresults.iter().find(|r| r.point == headline) {

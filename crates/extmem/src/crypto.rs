@@ -31,16 +31,165 @@
 //! bits: the infallible write path panics on wider payloads, the fallible
 //! path ([`BlockStore::try_store_block`]) rejects them with
 //! [`StoreError::PayloadTooWide`]. Keys keep the full 64 bits.
+//!
+//! # The batched keystream kernel
+//!
+//! The scalar reference path derives each keystream word independently as
+//! `hash64(addr ⊕ rot(slot) ⊕ rot(lane), key ⊕ nonce·φ)` — two `splitmix64`
+//! applications per word, four per cell. [`fill_keystream`] produces the
+//! identical words for a whole block at once: the inner `splitmix64(salt)`
+//! depends only on `(key, nonce)`, so it is hoisted out of the loop, and the
+//! remaining per-word finalizer runs over 8-wide unrolled lanes so the
+//! compiler can keep eight independent mixing chains in flight. The kernel
+//! is **bit-identical to the scalar path by construction** (same ops per
+//! word, only hoisted and reordered across independent words); the property
+//! battery asserts equality word for word.
+//!
+//! **Scratch-buffer lifetime.** The kernel writes into a caller-owned
+//! `Vec<u64>` that is resized (never shrunk) to `2B` words. The store and
+//! every [`EncryptedReader`] own exactly one such scratch each, reused
+//! across calls, so steady-state en/decryption performs no allocation. The
+//! scratch holds *keystream*, not plaintext, and is overwritten in full by
+//! the next call — nothing needs zeroizing between blocks. Never share one
+//! scratch across threads: parallel span encryption gives each worker its
+//! own (see [`Prefetchable::store_run`] on this type).
+
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::block::Block;
 use crate::element::{Cell, Element};
 use crate::error::StoreError;
 use crate::mem::{ArrayHandle, ExtMem, IoStats};
+use crate::prefetch::{PrefetchRead, Prefetchable};
 use crate::store::{BackingStore, BlockStore};
-use crate::util::hash64;
+use crate::util::{hash64, splitmix64};
 
 const PAYLOAD_MASK: u64 = (1 << 63) - 1;
 const OCC_BIT: u64 = 1 << 63;
+
+/// The golden-ratio multiplier mixed into the per-write nonce (the same
+/// constant `splitmix64` increments by).
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Lane-1 (payload word) tweak: `1u64.rotate_left(40)` of the scalar path.
+const LANE1: u64 = 1u64 << 40;
+
+/// Unroll width of the batched keystream kernel.
+const KS_LANES: usize = 8;
+
+/// Runs at least this many blocks are worth encrypting on scoped worker
+/// threads inside [`Prefetchable::store_run`]; shorter runs stay on the
+/// calling thread (thread spawn would cost more than the keystream).
+const PAR_ENCRYPT_MIN_BLOCKS: usize = 64;
+
+/// Scalar reference keystream word for `(addr, nonce, slot, lane)` — the
+/// oracle the batched kernel is tested against, and the exact function the
+/// original per-word path computed.
+#[cfg_attr(not(test), allow(dead_code))]
+#[inline]
+fn keystream_word(key: u64, addr: usize, nonce: u64, slot: usize, lane: u64) -> u64 {
+    hash64(
+        (addr as u64) ^ (slot as u64).rotate_left(20) ^ lane.rotate_left(40),
+        key ^ nonce.wrapping_mul(GOLDEN),
+    )
+}
+
+/// Fills `out` with the `2·b` keystream words of block `addr` under `nonce`:
+/// `out[2i]` masks the key word of slot `i`, `out[2i+1]` the payload word.
+/// Bit-identical to [`keystream_word`] per word; see the module docs for the
+/// hoisting/unrolling argument and the scratch-buffer lifetime rules.
+fn fill_keystream(key: u64, addr: usize, nonce: u64, b: usize, out: &mut Vec<u64>) {
+    out.resize(2 * b, 0);
+    // hash64(x, salt) = splitmix64(x ^ splitmix64(salt)): the inner
+    // application depends only on (key, nonce) — hoist it.
+    let salt_mix = splitmix64(key ^ nonce.wrapping_mul(GOLDEN));
+    let base = (addr as u64) ^ salt_mix;
+    let mut i = 0;
+    while i + KS_LANES <= b {
+        let mut x0 = [0u64; KS_LANES];
+        let mut x1 = [0u64; KS_LANES];
+        for l in 0..KS_LANES {
+            let x = base ^ ((i + l) as u64).rotate_left(20);
+            x0[l] = x;
+            x1[l] = x ^ LANE1;
+        }
+        for x in &mut x0 {
+            *x = splitmix64(*x);
+        }
+        for x in &mut x1 {
+            *x = splitmix64(*x);
+        }
+        for l in 0..KS_LANES {
+            out[2 * (i + l)] = x0[l];
+            out[2 * (i + l) + 1] = x1[l];
+        }
+        i += KS_LANES;
+    }
+    while i < b {
+        let x = base ^ (i as u64).rotate_left(20);
+        out[2 * i] = splitmix64(x);
+        out[2 * i + 1] = splitmix64(x ^ LANE1);
+        i += 1;
+    }
+}
+
+/// Encrypts `blk` into a fresh ciphertext block using the batched kernel.
+/// Panics on payloads wider than 63 bits (the fallible store paths reject
+/// them with a typed error before reaching this point).
+fn encrypt_block_with(key: u64, addr: usize, nonce: u64, blk: &Block, ks: &mut Vec<u64>) -> Block {
+    fill_keystream(key, addr, nonce, blk.len(), ks);
+    let mut out = Block::empty(blk.len());
+    for (i, cell) in blk.slots().iter().enumerate() {
+        let (w0, w1) = match cell {
+            Some(e) => {
+                assert!(
+                    e.payload <= PAYLOAD_MASK,
+                    "EncryptedStore payloads are limited to 63 bits \
+                     (got {:#x} > PAYLOAD_MASK = 2^63 - 1); use try_store_block for a \
+                     typed StoreError::PayloadTooWide instead",
+                    e.payload
+                );
+                (e.key, OCC_BIT | e.payload)
+            }
+            None => (0, 0),
+        };
+        out.set(i, Some(Element::new(w0 ^ ks[2 * i], w1 ^ ks[2 * i + 1])));
+    }
+    out
+}
+
+/// Decrypts a ciphertext block using the batched kernel. A missing
+/// ciphertext slot (only possible when a background reader races the very
+/// first write of a block) decrypts as zero words — the garbage result is
+/// dropped by the prefetch invalidation protocol, never served.
+fn decrypt_block_with(key: u64, addr: usize, nonce: u64, blk: &Block, ks: &mut Vec<u64>) -> Block {
+    fill_keystream(key, addr, nonce, blk.len(), ks);
+    let mut out = Block::empty(blk.len());
+    for i in 0..blk.len() {
+        let (c0, c1) = match blk.get(i) {
+            Some(ct) => (ct.key, ct.payload),
+            None => (0, 0),
+        };
+        let w0 = c0 ^ ks[2 * i];
+        let w1 = c1 ^ ks[2 * i + 1];
+        if w1 & OCC_BIT != 0 {
+            out.set(i, Some(Element::new(w0, w1 & PAYLOAD_MASK)));
+        } else {
+            out.set(i, None);
+        }
+    }
+    out
+}
+
+/// Locks the shared nonce table for reading, recovering from poison (no
+/// writer mutates it non-atomically, so a panicked holder leaves it valid).
+fn read_nonces(nonces: &RwLock<Vec<u64>>) -> RwLockReadGuard<'_, Vec<u64>> {
+    nonces.read().unwrap_or_else(|p| p.into_inner())
+}
+
+fn write_nonces(nonces: &RwLock<Vec<u64>>) -> RwLockWriteGuard<'_, Vec<u64>> {
+    nonces.write().unwrap_or_else(|p| p.into_inner())
+}
 
 /// An encrypted view over an [`ExtMem`] arena.
 ///
@@ -55,8 +204,12 @@ pub struct EncryptedStore<S: BackingStore = ExtMem> {
     key: u64,
     write_counter: u64,
     /// Nonce of the latest write for each global block; `u64::MAX` means the
-    /// block was never written and decrypts to the all-dummy block.
-    nonces: Vec<u64>,
+    /// block was never written and decrypts to the all-dummy block. Shared
+    /// (read-only) with every [`EncryptedReader`] this store hands out, so
+    /// background workers can decrypt ahead of the foreground.
+    nonces: Arc<RwLock<Vec<u64>>>,
+    /// Reusable keystream scratch of the batched kernel (see module docs).
+    ks: Vec<u64>,
 }
 
 impl EncryptedStore {
@@ -72,18 +225,30 @@ impl<S: BackingStore> EncryptedStore<S> {
     /// [`FileStore`](crate::file::FileStore) — with the re-encrypting
     /// masking layer. The backend must be empty (nothing allocated yet):
     /// ciphertext written through this layer is only decryptable through it.
+    /// Panics on a non-empty backend; see
+    /// [`try_with_backing`](Self::try_with_backing) for the fallible form.
     pub fn with_backing(mem: S, key: u64) -> Self {
-        assert_eq!(
-            mem.allocated_blocks(),
-            0,
-            "EncryptedStore must own its backend from the start"
-        );
-        EncryptedStore {
+        Self::try_with_backing(mem, key).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::with_backing`]: wrapping a backend that already has
+    /// blocks allocated is refused with a typed
+    /// [`StoreError::InvalidArgument`] instead of a panic (the ciphertext
+    /// this layer writes is only decryptable through it, so adopting
+    /// pre-existing foreign blocks could never round-trip).
+    pub fn try_with_backing(mem: S, key: u64) -> Result<Self, StoreError> {
+        if mem.allocated_blocks() != 0 {
+            return Err(StoreError::InvalidArgument {
+                reason: "EncryptedStore must own its backend from the start",
+            });
+        }
+        Ok(EncryptedStore {
             mem,
             key,
             write_counter: 0,
-            nonces: Vec::new(),
-        }
+            nonces: Arc::new(RwLock::new(Vec::new())),
+            ks: Vec::new(),
+        })
     }
 
     /// The wrapped backend.
@@ -111,55 +276,20 @@ impl<S: BackingStore> EncryptedStore<S> {
         BlockStore::block_elems(&self.mem)
     }
 
-    #[inline]
-    fn keystream(&self, addr: usize, nonce: u64, slot: usize, lane: u64) -> u64 {
-        hash64(
-            (addr as u64) ^ (slot as u64).rotate_left(20) ^ lane.rotate_left(40),
-            self.key ^ nonce.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        )
-    }
-
-    fn encrypt_block(&self, addr: usize, nonce: u64, blk: &Block) -> Block {
-        let mut out = Block::empty(blk.len());
-        for (i, cell) in blk.slots().iter().enumerate() {
-            let (w0, w1) = match cell {
-                Some(e) => {
-                    assert!(
-                        e.payload <= PAYLOAD_MASK,
-                        "EncryptedStore payloads are limited to 63 bits \
-                         (got {:#x} > PAYLOAD_MASK = 2^63 - 1); use try_store_block for a \
-                         typed StoreError::PayloadTooWide instead",
-                        e.payload
-                    );
-                    (e.key, OCC_BIT | e.payload)
-                }
-                None => (0, 0),
-            };
-            let c0 = w0 ^ self.keystream(addr, nonce, i, 0);
-            let c1 = w1 ^ self.keystream(addr, nonce, i, 1);
-            out.set(i, Some(Element::new(c0, c1)));
-        }
-        out
-    }
-
-    fn decrypt_block(&self, addr: usize, nonce: u64, blk: &Block) -> Block {
-        let mut out = Block::empty(blk.len());
-        for i in 0..blk.len() {
-            let ct = blk.get(i).expect("ciphertext slots are always present");
-            let w0 = ct.key ^ self.keystream(addr, nonce, i, 0);
-            let w1 = ct.payload ^ self.keystream(addr, nonce, i, 1);
-            if w1 & OCC_BIT != 0 {
-                out.set(i, Some(Element::new(w0, w1 & PAYLOAD_MASK)));
-            } else {
-                out.set(i, None);
-            }
-        }
-        out
+    /// The latest-write nonce of global block `addr` (`u64::MAX` = never
+    /// written).
+    fn nonce_of(&self, addr: usize) -> u64 {
+        read_nonces(&self.nonces)
+            .get(addr)
+            .copied()
+            .unwrap_or(u64::MAX)
     }
 
     fn ensure_nonces(&mut self) {
-        while self.nonces.len() < BackingStore::allocated_blocks(&self.mem) {
-            self.nonces.push(u64::MAX);
+        let top = BackingStore::allocated_blocks(&self.mem);
+        let mut nonces = write_nonces(&self.nonces);
+        while nonces.len() < top {
+            nonces.push(u64::MAX);
         }
     }
 
@@ -198,12 +328,12 @@ impl<S: BackingStore> EncryptedStore<S> {
     pub fn try_read_block(&mut self, h: &ArrayHandle, i: usize) -> Result<Block, StoreError> {
         let addr = h.global_block(i);
         let ct = self.mem.try_load_block(h, i)?;
-        let nonce = self.nonces.get(addr).copied().unwrap_or(u64::MAX);
+        let nonce = self.nonce_of(addr);
         Ok(if nonce == u64::MAX {
             self.mem.recycle(ct);
             Block::empty(self.block_elems())
         } else {
-            let pt = self.decrypt_block(addr, nonce, &ct);
+            let pt = decrypt_block_with(self.key, addr, nonce, &ct, &mut self.ks);
             self.mem.recycle(ct);
             pt
         })
@@ -230,10 +360,10 @@ impl<S: BackingStore> EncryptedStore<S> {
         self.ensure_nonces();
         let addr = h.global_block(i);
         let nonce = self.write_counter + 1;
-        let ct = self.encrypt_block(addr, nonce, blk);
+        let ct = encrypt_block_with(self.key, addr, nonce, blk, &mut self.ks);
         self.mem.try_store_block(h, i, ct)?;
         self.write_counter = nonce;
-        self.nonces[addr] = nonce;
+        write_nonces(&self.nonces)[addr] = nonce;
         Ok(())
     }
 
@@ -252,14 +382,15 @@ impl<S: BackingStore> EncryptedStore<S> {
     /// test.
     pub fn snapshot_cells(&self, h: &ArrayHandle) -> Vec<Cell> {
         let b = self.block_elems();
+        let mut ks = Vec::new();
         let mut out = Vec::with_capacity(h.len());
         for i in 0..h.n_blocks() {
             let addr = h.global_block(i);
-            let nonce = self.nonces.get(addr).copied().unwrap_or(u64::MAX);
+            let nonce = self.nonce_of(addr);
             let blk = if nonce == u64::MAX {
                 Block::empty(b)
             } else {
-                self.decrypt_block(addr, nonce, &self.raw_ciphertext(h, i))
+                decrypt_block_with(self.key, addr, nonce, &self.raw_ciphertext(h, i), &mut ks)
             };
             for j in 0..b {
                 if out.len() < h.len() {
@@ -327,9 +458,164 @@ impl<S: BackingStore> BlockStore for EncryptedStore<S> {
     }
 }
 
+/// Background reader over an encrypted store: fetches ciphertext through the
+/// backend's own reader and decrypts it *on the worker thread* (the
+/// decrypt-ahead half of the span pipeline), sharing the store's nonce table
+/// read-only. A fetch racing a foreground write may decrypt under a
+/// mismatched nonce; the prefetch invalidation protocol guarantees such a
+/// result is dropped, never served.
+#[derive(Debug)]
+pub struct EncryptedReader<R: PrefetchRead> {
+    inner: R,
+    key: u64,
+    block_elems: usize,
+    nonces: Arc<RwLock<Vec<u64>>>,
+    ks: Vec<u64>,
+}
+
+impl<R: PrefetchRead> EncryptedReader<R> {
+    fn decrypt(&mut self, addr: usize, nonce: u64, ct: Block) -> Block {
+        if nonce == u64::MAX {
+            Block::empty(self.block_elems)
+        } else {
+            decrypt_block_with(self.key, addr, nonce, &ct, &mut self.ks)
+        }
+    }
+}
+
+impl<R: PrefetchRead> PrefetchRead for EncryptedReader<R> {
+    fn fetch(&mut self, addr: usize) -> Result<Block, StoreError> {
+        let ct = self.inner.fetch(addr)?;
+        let nonce = read_nonces(&self.nonces)
+            .get(addr)
+            .copied()
+            .unwrap_or(u64::MAX);
+        Ok(self.decrypt(addr, nonce, ct))
+    }
+
+    fn fetch_run(&mut self, start: usize, count: usize) -> Vec<Result<Block, StoreError>> {
+        let cts = self.inner.fetch_run(start, count);
+        // One lock round-trip covers the whole run's nonces.
+        let nonces: Vec<u64> = {
+            let g = read_nonces(&self.nonces);
+            (start..start + count)
+                .map(|a| g.get(a).copied().unwrap_or(u64::MAX))
+                .collect()
+        };
+        cts.into_iter()
+            .zip(nonces)
+            .enumerate()
+            .map(|(k, (res, nonce))| res.map(|ct| self.decrypt(start + k, nonce, ct)))
+            .collect()
+    }
+}
+
+impl<S: BackingStore + Prefetchable> Prefetchable for EncryptedStore<S> {
+    type Reader = EncryptedReader<S::Reader>;
+
+    fn reader(&self) -> Self::Reader {
+        EncryptedReader {
+            inner: self.mem.reader(),
+            key: self.key,
+            block_elems: self.block_elems(),
+            nonces: Arc::clone(&self.nonces),
+            ks: Vec::new(),
+        }
+    }
+
+    fn supports_store_runs(&self) -> bool {
+        self.mem.supports_store_runs()
+    }
+
+    /// Encrypts the whole run — in parallel on scoped threads once the run
+    /// is long enough to amortize them (the encrypt-behind half of the span
+    /// pipeline; bit-identical either way, since each block's ciphertext is
+    /// a pure function of `(key, addr, nonce, plaintext)`) — then hands the
+    /// backend one span write. Nonces are assigned monotonically per block
+    /// exactly as `block_at_a_time` writes would, and committed only after
+    /// the backend acknowledges the span, so a cleanly failed span leaves
+    /// every nonce at its pre-call value. (A *partially torn* span is
+    /// indistinguishable from any other torn server write: stale-nonce
+    /// ciphertext that decrypts to garbage, caught by the authentication
+    /// layer, exactly like a torn block-at-a-time write sequence.)
+    fn store_run(&mut self, start: usize, blks: Vec<Block>) -> Result<(), StoreError> {
+        for (k, blk) in blks.iter().enumerate() {
+            if let Some(e) = blk
+                .slots()
+                .iter()
+                .flatten()
+                .find(|e| e.payload > PAYLOAD_MASK)
+            {
+                return Err(StoreError::PayloadTooWide {
+                    addr: start + k,
+                    payload: e.payload,
+                });
+            }
+        }
+        self.ensure_nonces();
+        let base = self.write_counter;
+        let key = self.key;
+        let n = blks.len();
+        let par = n >= PAR_ENCRYPT_MIN_BLOCKS
+            && std::thread::available_parallelism().map_or(1, |p| p.get()) > 1;
+        let cts: Vec<Block> = if par {
+            let workers = std::thread::available_parallelism()
+                .map_or(1, |p| p.get())
+                .min(4);
+            let chunk = n.div_ceil(workers);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = blks
+                    .chunks(chunk)
+                    .enumerate()
+                    .map(|(c, part)| {
+                        scope.spawn(move || {
+                            let mut ks = Vec::new();
+                            part.iter()
+                                .enumerate()
+                                .map(|(j, blk)| {
+                                    let k = c * chunk + j;
+                                    encrypt_block_with(
+                                        key,
+                                        start + k,
+                                        base + 1 + k as u64,
+                                        blk,
+                                        &mut ks,
+                                    )
+                                })
+                                .collect::<Vec<Block>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("encrypt worker panicked"))
+                    .collect()
+            })
+        } else {
+            blks.iter()
+                .enumerate()
+                .map(|(k, blk)| {
+                    encrypt_block_with(key, start + k, base + 1 + k as u64, blk, &mut self.ks)
+                })
+                .collect()
+        };
+        for blk in blks {
+            self.mem.recycle(blk);
+        }
+        self.mem.store_run(start, cts)?;
+        self.write_counter = base + n as u64;
+        let mut nonces = write_nonces(&self.nonces);
+        for k in 0..n {
+            nonces[start + k] = base + 1 + k as u64;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::file::FileStore;
 
     fn e(k: u64) -> Element {
         Element::new(k, k * 10)
@@ -461,5 +747,161 @@ mod tests {
         ok.set(0, Some(Element::new(1, (1 << 63) - 1)));
         store.try_store_block(&h, 1, ok.clone()).unwrap();
         assert_eq!(store.try_load_block(&h, 1).unwrap(), ok);
+    }
+
+    // --- the batched kernel and the span path ---
+
+    #[test]
+    fn batched_keystream_is_bit_identical_to_the_scalar_oracle() {
+        // Every block size from 1 (all tail) through several unroll widths,
+        // across addresses and nonces including the extremes.
+        let mut ks = Vec::new();
+        for b in [1usize, 2, 3, 7, 8, 9, 16, 17, 64] {
+            for &addr in &[0usize, 1, 5, 1 << 20, usize::MAX >> 1] {
+                for &nonce in &[0u64, 1, 2, 0xFFFF_FFFF, u64::MAX - 1] {
+                    for &key in &[0u64, 0xA11CE, u64::MAX] {
+                        fill_keystream(key, addr, nonce, b, &mut ks);
+                        for slot in 0..b {
+                            assert_eq!(
+                                ks[2 * slot],
+                                keystream_word(key, addr, nonce, slot, 0),
+                                "lane0 b={b} addr={addr} nonce={nonce} slot={slot}"
+                            );
+                            assert_eq!(
+                                ks[2 * slot + 1],
+                                keystream_word(key, addr, nonce, slot, 1),
+                                "lane1 b={b} addr={addr} nonce={nonce} slot={slot}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn store_run_produces_byte_identical_ciphertext_to_block_writes() {
+        // Same key, same plaintexts, same nonce sequence: the span path must
+        // leave the exact bytes on the backend that N block writes would.
+        let cells: Vec<Cell> = (0..256).map(|i| Some(e(i))).collect();
+        let b = 4;
+        let n_blocks = cells.len() / b;
+
+        let mut one = EncryptedStore::with_backing(FileStore::temp(b).unwrap(), 0x50F7);
+        let h1 = BlockStore::alloc_array(&mut one, cells.len());
+        for (i, chunk) in cells.chunks(b).enumerate() {
+            one.write_block(&h1, i, &Block::from_cells(chunk));
+        }
+
+        let mut run = EncryptedStore::with_backing(FileStore::temp(b).unwrap(), 0x50F7);
+        let h2 = BlockStore::alloc_array(&mut run, cells.len());
+        let blks: Vec<Block> = cells.chunks(b).map(Block::from_cells).collect();
+        run.store_run(h2.global_block(0), blks).unwrap();
+
+        for i in 0..n_blocks {
+            assert_eq!(
+                one.raw_ciphertext(&h1, i),
+                run.raw_ciphertext(&h2, i),
+                "ciphertext of block {i} diverged between the span and block paths"
+            );
+        }
+        assert_eq!(run.snapshot_cells(&h2), cells);
+    }
+
+    #[test]
+    fn long_runs_take_the_parallel_encrypt_path_and_stay_identical() {
+        // PAR_ENCRYPT_MIN_BLOCKS or more blocks: the scoped-thread encrypt
+        // must produce the same bytes as the sequential path.
+        let b = 8;
+        let n = PAR_ENCRYPT_MIN_BLOCKS + 7;
+        let cells: Vec<Cell> = (0..(n * b) as u64).map(|i| Some(e(i))).collect();
+        let blks: Vec<Block> = cells.chunks(b).map(Block::from_cells).collect();
+
+        let mut seq = EncryptedStore::with_backing(FileStore::temp(b).unwrap(), 0xBEE);
+        let hs = BlockStore::alloc_array(&mut seq, cells.len());
+        for (i, blk) in blks.iter().enumerate() {
+            seq.write_block(&hs, i, blk);
+        }
+
+        let mut par = EncryptedStore::with_backing(FileStore::temp(b).unwrap(), 0xBEE);
+        let hp = BlockStore::alloc_array(&mut par, cells.len());
+        par.store_run(hp.global_block(0), blks).unwrap();
+
+        for i in 0..n {
+            assert_eq!(seq.raw_ciphertext(&hs, i), par.raw_ciphertext(&hp, i));
+        }
+    }
+
+    #[test]
+    fn store_run_rejects_oversized_payloads_before_writing_anything() {
+        let mut store = EncryptedStore::with_backing(FileStore::temp(2).unwrap(), 1);
+        let h = BlockStore::alloc_array(&mut store, 8);
+        let mut bad = Block::empty(2);
+        bad.set(0, Some(Element::new(1, u64::MAX)));
+        let err = store
+            .store_run(h.global_block(0), vec![Block::empty(2), bad])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            StoreError::PayloadTooWide {
+                addr: h.global_block(1),
+                payload: u64::MAX
+            }
+        );
+        assert_eq!(store.stats().writes, 0, "the run was refused up front");
+        // Nonces untouched: every block still decrypts as never-written.
+        assert!(store.read_block(&h, 0).is_all_dummy());
+    }
+
+    #[test]
+    fn reader_decrypts_what_the_foreground_wrote() {
+        let mut store = EncryptedStore::with_backing(FileStore::temp(4).unwrap(), 0xD0_0D);
+        let cells: Vec<Cell> = (0..32).map(|i| Some(e(i))).collect();
+        let h = store.alloc_array_from_cells(&cells);
+        let mut reader = store.reader();
+        // Single fetch and span fetch agree with the foreground view.
+        for i in 0..h.n_blocks() {
+            let addr = h.global_block(i);
+            assert_eq!(reader.fetch(addr).unwrap(), store.read_block(&h, i));
+        }
+        let run: Vec<Block> = reader
+            .fetch_run(h.global_block(0), h.n_blocks())
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        for (i, blk) in run.iter().enumerate() {
+            assert_eq!(*blk, store.read_block(&h, i));
+        }
+    }
+
+    #[test]
+    fn reader_sees_unwritten_blocks_as_dummies() {
+        let mut store = EncryptedStore::with_backing(FileStore::temp(4).unwrap(), 3);
+        let h = store.alloc_array(16);
+        let mut reader = store.reader();
+        for res in reader.fetch_run(h.global_block(0), h.n_blocks()) {
+            assert!(res.unwrap().is_all_dummy());
+        }
+    }
+
+    #[test]
+    fn try_with_backing_refuses_a_non_empty_backend_with_a_typed_error() {
+        let mut fs = FileStore::temp(4).unwrap();
+        let _ = BlockStore::alloc_array(&mut fs, 8);
+        let err = EncryptedStore::try_with_backing(fs, 1).unwrap_err();
+        assert_eq!(
+            err,
+            StoreError::InvalidArgument {
+                reason: "EncryptedStore must own its backend from the start"
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must own its backend")]
+    fn with_backing_still_panics_on_a_non_empty_backend() {
+        let mut fs = FileStore::temp(4).unwrap();
+        let _ = BlockStore::alloc_array(&mut fs, 8);
+        let _ = EncryptedStore::with_backing(fs, 1);
     }
 }

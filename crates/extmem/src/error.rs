@@ -88,6 +88,19 @@ pub enum StoreError {
         /// The underlying [`std::io::ErrorKind`].
         kind: std::io::ErrorKind,
     },
+    /// A store was constructed or configured with arguments that don't
+    /// describe a usable stack — e.g. wrapping a non-empty backend in
+    /// [`EncryptedStore::try_with_backing`]. Purely client-side: no I/O was
+    /// performed and the offending store was never built. The workspace
+    /// error type maps this to `OdoError::InvalidArgument`, whose `Display`
+    /// prints `reason` verbatim (it doubles as the panic message of the
+    /// infallible constructors).
+    ///
+    /// [`EncryptedStore::try_with_backing`]: crate::crypto::EncryptedStore::try_with_backing
+    InvalidArgument {
+        /// Human-readable validation failure.
+        reason: &'static str,
+    },
 }
 
 impl StoreError {
@@ -145,6 +158,7 @@ impl fmt::Display for StoreError {
             StoreError::Io { addr, kind } => {
                 write!(f, "file I/O error ({kind:?}) at block {addr}")
             }
+            StoreError::InvalidArgument { reason } => write!(f, "{reason}"),
         }
     }
 }
@@ -214,5 +228,20 @@ mod tests {
         }
         .to_string();
         assert!(msg.contains("63-bit"));
+    }
+
+    #[test]
+    fn invalid_argument_displays_its_reason_verbatim() {
+        // The infallible constructors panic with `Display` of this variant,
+        // so it must be exactly the validation message.
+        let e = StoreError::InvalidArgument {
+            reason: "EncryptedStore must own its backend from the start",
+        };
+        assert_eq!(
+            e.to_string(),
+            "EncryptedStore must own its backend from the start"
+        );
+        assert!(!e.is_transient());
+        assert!(!e.is_tampering());
     }
 }

@@ -33,6 +33,17 @@
 //! Every access — including a faulted one — first performs the underlying
 //! I/O, so accounting and the adversary-visible trace stay faithful to what
 //! a real client would observe.
+//!
+//! **The span path.** [`Prefetchable::store_run`] decomposes a run into one
+//! fault decision per block, consuming op indices in address order — the
+//! exact schedule the block-at-a-time path consumes, so a decomposed run
+//! injects bit-identical faults (asserted by a test). Background
+//! [`FaultyReader`]s instead key their faults on the *address* (a
+//! "persistently bad sector" model): worker threads race, so an op counter
+//! would make the schedule depend on the interleaving, which is exactly the
+//! nondeterminism this module exists to exclude. Reader faults cover the
+//! transient and corrupt lanes only (stale/drop need the foreground's
+//! version history) and are not recorded in the store's fault log.
 
 use std::collections::HashMap;
 
@@ -40,6 +51,7 @@ use crate::block::Block;
 use crate::element::Element;
 use crate::error::StoreError;
 use crate::mem::{ArrayHandle, IoStats};
+use crate::prefetch::{PrefetchRead, Prefetchable};
 use crate::store::BlockStore;
 use crate::util::{bucket_of, hash64};
 
@@ -54,6 +66,7 @@ const LANE_CORRUPT: u64 = 0x434F_5252_5550_5421; // "CORRUPT!"
 const LANE_STALE: u64 = 0x5354_414C_4552_4550; // "STALEREP"
 const LANE_DROP: u64 = 0x4452_4F50_5752_4954; // "DROPWRIT"
 const LANE_MUTATE: u64 = 0x4D55_5441_5445_2121; // slot/bit choice for corruption
+const LANE_FETCH: u64 = 0x4645_5443_4852_4541; // "FETCHREA": background-reader faults
 
 /// Per-lane fault rates in parts per million of operations.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -117,6 +130,30 @@ impl FaultStats {
     /// is nonzero, an authenticated client must have returned an error.
     pub fn tampering(&self) -> u64 {
         self.corrupt_reads + self.stale_reads + self.dropped_writes
+    }
+}
+
+/// Tampers with one slot of `blk`, all choices drawn from `coin` (never from
+/// the data) — shared by the foreground op-indexed corruption lane and the
+/// address-keyed [`FaultyReader`] lane.
+fn corrupt_with(coin: u64, blk: &mut Block) {
+    let slot = bucket_of(coin, blk.len().max(1));
+    match blk.get(slot) {
+        Some(e) if coin & 1 == 0 => {
+            // Flip one key bit (a ciphertext bit flip in the key word).
+            let bit = (coin >> 8) % 64;
+            blk.set(slot, Some(Element::new(e.key ^ (1 << bit), e.payload)));
+        }
+        Some(_) => {
+            // Toggle the occupancy flag: the element vanishes.
+            blk.set(slot, None);
+        }
+        None => {
+            // Fabricate an element out of keystream garbage (payload kept
+            // to 63 bits so re-encryption of the tampered image is
+            // representable).
+            blk.set(slot, Some(Element::new(coin, coin >> 1)));
+        }
     }
 }
 
@@ -205,25 +242,7 @@ impl<S: BlockStore> FaultyStore<S> {
     /// Tampers with one slot of `blk`, choosing the slot and mutation from
     /// the op index (never from the data).
     fn corrupt(&self, op: u64, blk: &mut Block) {
-        let coin = hash64(op, self.seed ^ LANE_MUTATE);
-        let slot = bucket_of(coin, blk.len().max(1));
-        match blk.get(slot) {
-            Some(e) if coin & 1 == 0 => {
-                // Flip one key bit (a ciphertext bit flip in the key word).
-                let bit = (coin >> 8) % 64;
-                blk.set(slot, Some(Element::new(e.key ^ (1 << bit), e.payload)));
-            }
-            Some(_) => {
-                // Toggle the occupancy flag: the element vanishes.
-                blk.set(slot, None);
-            }
-            None => {
-                // Fabricate an element out of keystream garbage (payload kept
-                // to 63 bits so re-encryption of the tampered image is
-                // representable).
-                blk.set(slot, Some(Element::new(coin, coin >> 1)));
-            }
-        }
+        corrupt_with(hash64(op, self.seed ^ LANE_MUTATE), blk);
     }
 
     fn current_content(&self, addr: usize) -> Option<Block> {
@@ -327,6 +346,108 @@ impl<S: BlockStore> BlockStore for FaultyStore<S> {
         }
         self.inner.try_store_block(h, i, blk.clone())?;
         self.push_history(addr, blk);
+        Ok(())
+    }
+}
+
+/// Background reader over a faulty store, modelling *persistently bad
+/// sectors*: whether an address misbehaves is
+/// `hash64(addr, seed ⊕ LANE_FETCH)` — a function of the address and seed
+/// only, so the schedule is deterministic no matter how worker threads
+/// interleave. Covers the transient and corrupt lanes; stale replays and
+/// dropped writes need the foreground's version history and only exist
+/// there. Reader-injected faults are not recorded in the foreground fault
+/// log (readers share no state with the store).
+#[derive(Debug)]
+pub struct FaultyReader<R: PrefetchRead> {
+    inner: R,
+    seed: u64,
+    spec: FaultSpec,
+}
+
+impl<R: PrefetchRead> FaultyReader<R> {
+    fn apply(&self, addr: usize, res: Result<Block, StoreError>) -> Result<Block, StoreError> {
+        let mut blk = res?;
+        let sector = hash64(addr as u64, self.seed ^ LANE_FETCH);
+        if self.spec.transient_read_ppm > 0
+            && bucket_of(hash64(sector, self.seed ^ LANE_TRANSIENT), PPM)
+                < self.spec.transient_read_ppm as usize
+        {
+            return Err(StoreError::Transient { addr });
+        }
+        if self.spec.corrupt_read_ppm > 0
+            && bucket_of(hash64(sector, self.seed ^ LANE_CORRUPT), PPM)
+                < self.spec.corrupt_read_ppm as usize
+        {
+            corrupt_with(hash64(sector, self.seed ^ LANE_MUTATE), &mut blk);
+        }
+        Ok(blk)
+    }
+}
+
+impl<R: PrefetchRead> PrefetchRead for FaultyReader<R> {
+    fn fetch(&mut self, addr: usize) -> Result<Block, StoreError> {
+        let res = self.inner.fetch(addr);
+        self.apply(addr, res)
+    }
+
+    fn fetch_run(&mut self, start: usize, count: usize) -> Vec<Result<Block, StoreError>> {
+        self.inner
+            .fetch_run(start, count)
+            .into_iter()
+            .enumerate()
+            .map(|(k, res)| self.apply(start + k, res))
+            .collect()
+    }
+}
+
+impl<S: BlockStore + Prefetchable> Prefetchable for FaultyStore<S> {
+    type Reader = FaultyReader<S::Reader>;
+
+    fn reader(&self) -> Self::Reader {
+        FaultyReader {
+            inner: self.inner.reader(),
+            seed: self.seed,
+            spec: self.spec,
+        }
+    }
+
+    fn supports_store_runs(&self) -> bool {
+        self.inner.supports_store_runs()
+    }
+
+    /// Decomposes the run into one fault decision per block, consuming op
+    /// indices in address order — exactly the schedule the block-at-a-time
+    /// path consumes, so the injected faults (and the resulting server
+    /// content) are bit-identical to issuing the same writes one by one.
+    fn store_run(&mut self, start: usize, blks: Vec<Block>) -> Result<(), StoreError> {
+        let mut resolved = Vec::with_capacity(blks.len());
+        // History pushes are deferred until the span write succeeds, matching
+        // the block path's push-after-store ordering.
+        let mut to_push: Vec<(usize, Block)> = Vec::new();
+        for (k, blk) in blks.into_iter().enumerate() {
+            let addr = start + k;
+            let op = self.op_counter;
+            self.op_counter += 1;
+            if self.fires(op, LANE_DROP, self.spec.drop_write_ppm) {
+                let current = self
+                    .current_content(addr)
+                    .unwrap_or_else(|| Block::empty(self.inner.block_elems()));
+                // Same rule as the block path: only a material drop counts,
+                // and the old content is still (re)written and charged.
+                if blk != current {
+                    self.record(op, FaultKind::DropWrite);
+                    resolved.push(current);
+                    continue;
+                }
+            }
+            to_push.push((addr, blk.clone()));
+            resolved.push(blk);
+        }
+        self.inner.store_run(start, resolved)?;
+        for (addr, blk) in to_push {
+            self.push_history(addr, blk);
+        }
         Ok(())
     }
 }
@@ -510,5 +631,98 @@ mod tests {
         let h = BlockStore::alloc_array(&mut s, 4);
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.load_block(&h, 0)));
         assert!(r.is_err());
+    }
+
+    // --- the span path ---
+
+    use crate::crypto::EncryptedStore;
+    use crate::file::FileStore;
+
+    fn faulty_file(seed: u64, spec: FaultSpec) -> FaultyStore<EncryptedStore<FileStore>> {
+        let enc = EncryptedStore::with_backing(FileStore::temp(4).unwrap(), 0xA11CE);
+        FaultyStore::new(enc, seed, spec)
+    }
+
+    #[test]
+    fn span_writes_inject_the_identical_fault_schedule() {
+        // Same seed, same spec, same writes — once block at a time, once as
+        // spans. The decomposed run must consume the same op indices and
+        // inject bit-identical faults, leaving identical server content.
+        let spec = FaultSpec {
+            drop_write_ppm: 400_000,
+            ..FaultSpec::none()
+        };
+        let n_cells = 64u64;
+        let b = 4;
+
+        let mut one = faulty_file(0xD15C, spec);
+        let h1 = one.alloc_array(n_cells as usize);
+        for (i, chunk) in cells(n_cells).chunks(b).enumerate() {
+            one.try_store_block(&h1, i, Block::from_cells(chunk))
+                .unwrap();
+        }
+
+        let mut run = faulty_file(0xD15C, spec);
+        let h2 = run.alloc_array(n_cells as usize);
+        let blks: Vec<Block> = cells(n_cells).chunks(b).map(Block::from_cells).collect();
+        run.store_run(h2.global_block(0), blks).unwrap();
+
+        assert_eq!(one.ops_issued(), run.ops_issued());
+        assert_eq!(one.fault_log(), run.fault_log());
+        assert!(
+            !run.fault_log().is_empty(),
+            "the schedule must actually fire at this rate"
+        );
+        // Server content identical: read back fault-free.
+        one.set_spec(FaultSpec::none());
+        run.set_spec(FaultSpec::none());
+        for i in 0..h1.n_blocks() {
+            assert_eq!(
+                one.try_load_block(&h1, i).unwrap(),
+                run.try_load_block(&h2, i).unwrap(),
+                "block {i} diverged between the span and block paths"
+            );
+        }
+    }
+
+    #[test]
+    fn reader_faults_are_keyed_by_address_not_arrival_order() {
+        let spec = FaultSpec {
+            transient_read_ppm: 200_000,
+            corrupt_read_ppm: 200_000,
+            ..FaultSpec::none()
+        };
+        let mut faulty = faulty_file(0xBAD5EC, FaultSpec::none());
+        let h = faulty.alloc_array(64);
+        faulty.try_store_span(&h, 0, &cells(64)).unwrap();
+        faulty.set_spec(spec);
+
+        // Two readers fetching the same addresses in opposite orders must
+        // observe identical per-address outcomes.
+        let addrs: Vec<usize> = (0..h.n_blocks()).map(|i| h.global_block(i)).collect();
+        let mut fwd = faulty.reader();
+        let mut rev = faulty.reader();
+        let fwd_results: Vec<_> = addrs.iter().map(|&a| fwd.fetch(a)).collect();
+        let mut rev_results: Vec<_> = addrs.iter().rev().map(|&a| rev.fetch(a)).collect();
+        rev_results.reverse();
+        assert_eq!(fwd_results, rev_results);
+        // And a run fetch sees the same faults as single fetches.
+        let mut run_reader = faulty.reader();
+        let run_results = run_reader.fetch_run(addrs[0], addrs.len());
+        assert_eq!(fwd_results, run_results);
+        // The schedule fires both lanes at this rate.
+        assert!(fwd_results.iter().any(|r| r.is_err()));
+        assert!(fwd_results.iter().any(|r| r.is_ok()));
+        // Reader faults never touch the foreground log.
+        assert!(faulty.fault_log().is_empty());
+        // With a clean spec the reader serves honest data.
+        faulty.set_spec(FaultSpec::none());
+        let mut clean = faulty.reader();
+        for (i, &a) in addrs.iter().enumerate() {
+            assert_eq!(
+                clean.fetch(a).unwrap(),
+                faulty.try_load_block(&h, i).unwrap()
+            );
+        }
     }
 }

@@ -81,17 +81,19 @@ pub mod trace;
 pub mod util;
 
 pub use arena::{ArenaStats, BlockArena};
-pub use auth::{AuthClientState, AuthenticatedStore};
+pub use auth::{AuthClientState, AuthenticatedReader, AuthenticatedStore};
 pub use block::Block;
 pub use budget::CacheBudget;
 pub use cache::BlockCache;
 pub use config::{Config, ConfigError};
-pub use crypto::EncryptedStore;
+pub use crypto::{EncryptedReader, EncryptedStore};
 pub use element::{Cell, Element};
 pub use error::StoreError;
-pub use fault::{FaultKind, FaultSpec, FaultStats, FaultyStore};
+pub use fault::{FaultKind, FaultSpec, FaultStats, FaultyReader, FaultyStore};
 pub use file::{FileReader, FileStore, InjectedCrash};
 pub use mem::{AccessEvent, AccessOp, AccessTrace, ArrayHandle, ExtMem, IoStats};
 pub use prefetch::{PrefetchConfig, PrefetchRead, PrefetchStats, Prefetchable, PrefetchingStore};
-pub use retry::{install_quiet_abort_hook, run_fallible, RetryPolicy, RetryStats, RetryingStore};
+pub use retry::{
+    install_quiet_abort_hook, run_fallible, RetryPolicy, RetryStats, RetryingReader, RetryingStore,
+};
 pub use store::{BackingStore, BlockStore};

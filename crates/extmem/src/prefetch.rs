@@ -119,9 +119,21 @@ pub trait Prefetchable: BlockStore {
     /// (one positioned write for the whole run), recycling the buffers.
     /// Only called when [`supports_store_runs`](Prefetchable::supports_store_runs)
     /// returns true.
+    ///
+    /// The default body is for stores that never advertise span-write
+    /// support: a wrapper that calls it anyway (misreporting
+    /// `supports_store_runs`) gets a typed [`StoreError::Corrupted`] for the
+    /// run's first address — the write was *not* performed — rather than a
+    /// process-killing panic. Debug builds additionally `debug_assert` so
+    /// the misbehavior is loud under test.
     fn store_run(&mut self, start: usize, blks: Vec<Block>) -> Result<(), StoreError> {
-        let _ = (start, blks);
-        unreachable!("store_run requires supports_store_runs() == true")
+        debug_assert!(
+            false,
+            "store_run requires supports_store_runs() == true (run of {} at {start})",
+            blks.len()
+        );
+        drop(blks);
+        Err(StoreError::Corrupted { addr: start })
     }
 }
 
@@ -953,6 +965,68 @@ mod tests {
         store.hint_blocks(&h, &[1, 2, 3]);
         for i in 1..4 {
             assert_eq!(store.load_block(&h, i).occupied()[0], e(i as u64 * 2));
+        }
+    }
+
+    /// A store that implements [`Prefetchable`] but never advertises (or
+    /// overrides) span writes — the shape of a minimal custom wrapper.
+    struct NoRuns(crate::mem::ExtMem);
+
+    struct NoRunsReader;
+
+    impl PrefetchRead for NoRunsReader {
+        fn fetch(&mut self, addr: usize) -> Result<Block, StoreError> {
+            Err(StoreError::Transient { addr })
+        }
+    }
+
+    impl BlockStore for NoRuns {
+        fn block_elems(&self) -> usize {
+            self.0.block_elems()
+        }
+        fn alloc_array(&mut self, len: usize) -> ArrayHandle {
+            self.0.alloc_array(len)
+        }
+        fn load_block(&mut self, h: &ArrayHandle, i: usize) -> Block {
+            self.0.read_block(h, i)
+        }
+        fn store_block(&mut self, h: &ArrayHandle, i: usize, blk: Block) {
+            self.0.write_block(h, i, blk);
+        }
+        fn io_stats(&self) -> IoStats {
+            self.0.stats()
+        }
+    }
+
+    impl Prefetchable for NoRuns {
+        type Reader = NoRunsReader;
+        fn reader(&self) -> NoRunsReader {
+            NoRunsReader
+        }
+    }
+
+    /// Regression: the default `store_run` body used to be `unreachable!`,
+    /// so a wrapper that misreported `supports_store_runs` panicked instead
+    /// of erroring. It must now surface a typed error (and only
+    /// `debug_assert` in debug builds).
+    #[test]
+    fn default_store_run_is_a_typed_error_not_an_unconditional_panic() {
+        let mut s = NoRuns(crate::mem::ExtMem::new(2));
+        assert!(!s.supports_store_runs());
+        #[cfg(debug_assertions)]
+        {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                s.store_run(3, vec![Block::empty(2)])
+            }));
+            assert!(r.is_err(), "debug builds assert loudly");
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            assert_eq!(
+                s.store_run(3, vec![Block::empty(2)]),
+                Err(StoreError::Corrupted { addr: 3 }),
+                "release builds report a typed error for the run start"
+            );
         }
     }
 

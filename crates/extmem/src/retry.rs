@@ -34,6 +34,7 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use crate::block::Block;
 use crate::error::StoreError;
 use crate::mem::{ArrayHandle, IoStats};
+use crate::prefetch::{PrefetchRead, Prefetchable};
 use crate::store::BlockStore;
 
 /// How many times to retry transient faults, and how the (model) backoff
@@ -202,6 +203,105 @@ impl<S: BlockStore> BlockStore for RetryingStore<'_, S> {
     }
 }
 
+/// Background reader over a retrying store: transient fetch failures are
+/// re-issued up to the policy's retry cap, exactly like the foreground —
+/// the retry count is a function of the (seeded) fault schedule only, never
+/// of the data, so worker-side retries keep traces data-independent.
+/// Reader retries are not counted in the foreground [`RetryStats`] (readers
+/// share no state with the store); fatal errors are returned as values, not
+/// unwound — the prefetch protocol parks them for the foreground to surface.
+#[derive(Debug)]
+pub struct RetryingReader<R: PrefetchRead> {
+    inner: R,
+    policy: RetryPolicy,
+}
+
+impl<R: PrefetchRead> RetryingReader<R> {
+    fn retry(
+        &mut self,
+        addr: usize,
+        first: Result<Block, StoreError>,
+    ) -> Result<Block, StoreError> {
+        let mut res = first;
+        let mut attempt = 0u32;
+        loop {
+            match res {
+                Err(e) if e.is_transient() && attempt < self.policy.max_retries => {
+                    attempt += 1;
+                    res = self.inner.fetch(addr);
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+impl<R: PrefetchRead> PrefetchRead for RetryingReader<R> {
+    fn fetch(&mut self, addr: usize) -> Result<Block, StoreError> {
+        let first = self.inner.fetch(addr);
+        self.retry(addr, first)
+    }
+
+    fn fetch_run(&mut self, start: usize, count: usize) -> Vec<Result<Block, StoreError>> {
+        // One span fetch, then per-block retries of whatever came back
+        // transient — the run shape stays data-independent because which
+        // entries are transient is decided by the server, not the data.
+        self.inner
+            .fetch_run(start, count)
+            .into_iter()
+            .enumerate()
+            .map(|(k, res)| self.retry(start + k, res))
+            .collect()
+    }
+}
+
+impl<S: BlockStore + Prefetchable> Prefetchable for RetryingStore<'_, S> {
+    type Reader = RetryingReader<S::Reader>;
+
+    fn reader(&self) -> Self::Reader {
+        RetryingReader {
+            inner: self.inner.reader(),
+            policy: self.policy,
+        }
+    }
+
+    fn supports_store_runs(&self) -> bool {
+        self.inner.supports_store_runs()
+    }
+
+    /// Retries the *whole run* on a transient failure — runs are re-issued
+    /// verbatim (same addresses, same contents), so the retry schedule stays
+    /// data-independent. Unlike the infallible foreground ops this returns
+    /// fatal errors as values rather than unwinding: the span path is driven
+    /// by the prefetch adapter's write-behind flush, which handles `Result`s.
+    fn store_run(&mut self, start: usize, mut blks: Vec<Block>) -> Result<(), StoreError> {
+        let mut attempt = 0u32;
+        loop {
+            let last = attempt >= self.policy.max_retries;
+            let batch = if last {
+                std::mem::take(&mut blks)
+            } else {
+                blks.clone()
+            };
+            match self.inner.store_run(start, batch) {
+                Ok(()) => {
+                    // The clones were consumed; recycle the originals kept
+                    // around for potential retries.
+                    for blk in blks {
+                        self.inner.recycle(blk);
+                    }
+                    return Ok(());
+                }
+                Err(e) if e.is_transient() && !last => {
+                    attempt += 1;
+                    self.note_retry(attempt);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
 /// Runs `f` — any algorithm written against the infallible [`BlockStore`]
 /// interface — over a fallible store, retrying transients per `policy` and
 /// converting the first fatal [`StoreError`] into an `Err` instead of a
@@ -253,7 +353,8 @@ mod tests {
     use super::*;
     use crate::element::{Cell, Element};
     use crate::mem::ExtMem;
-    use std::collections::VecDeque;
+    use std::collections::{HashMap, VecDeque};
+    use std::sync::{Arc, Mutex};
 
     /// A scripted flaky store: pops one error per fallible op from a queue;
     /// an empty queue means success.
@@ -261,6 +362,12 @@ mod tests {
         mem: ExtMem,
         read_errs: VecDeque<Option<StoreError>>,
         write_errs: VecDeque<Option<StoreError>>,
+        /// One scripted outcome per `store_run` attempt.
+        run_errs: VecDeque<Option<StoreError>>,
+        /// Blocks landed via `store_run`, visible to scripted readers.
+        spans: Arc<Mutex<HashMap<usize, Block>>>,
+        /// One scripted outcome per reader fetch.
+        fetch_errs: Arc<Mutex<VecDeque<Option<StoreError>>>>,
     }
 
     impl Scripted {
@@ -269,7 +376,55 @@ mod tests {
                 mem: ExtMem::new(b),
                 read_errs: VecDeque::new(),
                 write_errs: VecDeque::new(),
+                run_errs: VecDeque::new(),
+                spans: Arc::new(Mutex::new(HashMap::new())),
+                fetch_errs: Arc::new(Mutex::new(VecDeque::new())),
             }
+        }
+    }
+
+    struct ScriptedReader {
+        spans: Arc<Mutex<HashMap<usize, Block>>>,
+        fetch_errs: Arc<Mutex<VecDeque<Option<StoreError>>>>,
+        b: usize,
+    }
+
+    impl PrefetchRead for ScriptedReader {
+        fn fetch(&mut self, addr: usize) -> Result<Block, StoreError> {
+            if let Some(e) = self.fetch_errs.lock().unwrap().pop_front().flatten() {
+                return Err(e);
+            }
+            Ok(self
+                .spans
+                .lock()
+                .unwrap()
+                .get(&addr)
+                .cloned()
+                .unwrap_or_else(|| Block::empty(self.b)))
+        }
+    }
+
+    impl Prefetchable for Scripted {
+        type Reader = ScriptedReader;
+        fn reader(&self) -> ScriptedReader {
+            ScriptedReader {
+                spans: Arc::clone(&self.spans),
+                fetch_errs: Arc::clone(&self.fetch_errs),
+                b: self.mem.block_elems(),
+            }
+        }
+        fn supports_store_runs(&self) -> bool {
+            true
+        }
+        fn store_run(&mut self, start: usize, blks: Vec<Block>) -> Result<(), StoreError> {
+            if let Some(e) = self.run_errs.pop_front().flatten() {
+                return Err(e);
+            }
+            let mut spans = self.spans.lock().unwrap();
+            for (k, blk) in blks.into_iter().enumerate() {
+                spans.insert(start + k, blk);
+            }
+            Ok(())
         }
     }
 
@@ -402,6 +557,70 @@ mod tests {
         };
         let units: Vec<u64> = (1..=6).map(|a| p.backoff_for(a)).collect();
         assert_eq!(units, vec![2, 4, 8, 16, 16, 16]);
+    }
+
+    #[test]
+    fn span_writes_are_retried_whole_and_reissued_verbatim() {
+        let mut s = Scripted::new(4);
+        let h = BlockStore::alloc_array(&mut s, 8);
+        let start = h.global_block(0);
+        // Two transient failures, then the run lands.
+        s.run_errs
+            .push_back(Some(StoreError::Transient { addr: start }));
+        s.run_errs
+            .push_back(Some(StoreError::Transient { addr: start }));
+        let blks: Vec<Block> = cells(8).chunks(4).map(Block::from_cells).collect();
+        let mut rs = RetryingStore::new(&mut s, RetryPolicy::default());
+        rs.store_run(start, blks.clone()).unwrap();
+        assert_eq!(rs.stats().retries, 2);
+        // The whole run was re-issued verbatim: every block landed intact.
+        let mut reader = rs.reader();
+        for (k, blk) in blks.iter().enumerate() {
+            assert_eq!(&reader.fetch(start + k).unwrap(), blk);
+        }
+    }
+
+    #[test]
+    fn fatal_span_write_errors_are_typed_values_not_unwinds() {
+        // Unlike the infallible foreground ops, the span path must hand the
+        // error back to the write-behind flusher instead of panicking.
+        let mut s = Scripted::new(4);
+        let h = BlockStore::alloc_array(&mut s, 4);
+        let start = h.global_block(0);
+        s.run_errs
+            .push_back(Some(StoreError::Corrupted { addr: start }));
+        let blks: Vec<Block> = cells(4).chunks(4).map(Block::from_cells).collect();
+        let mut rs = RetryingStore::new(&mut s, RetryPolicy::default());
+        let err = rs.store_run(start, blks).unwrap_err();
+        assert_eq!(err, StoreError::Corrupted { addr: start });
+        assert_eq!(rs.stats().retries, 0, "fatal errors are never retried");
+    }
+
+    #[test]
+    fn reader_retries_transient_fetches_up_to_the_policy_cap() {
+        let mut s = Scripted::new(4);
+        let h = BlockStore::alloc_array(&mut s, 4);
+        let start = h.global_block(0);
+        let blks: Vec<Block> = cells(4).chunks(4).map(Block::from_cells).collect();
+        let mut rs = RetryingStore::new(&mut s, RetryPolicy::default());
+        rs.store_run(start, blks.clone()).unwrap();
+        // Two transients, then the fetch succeeds.
+        rs.inner.fetch_errs.lock().unwrap().extend([
+            Some(StoreError::Transient { addr: start }),
+            Some(StoreError::Transient { addr: start }),
+        ]);
+        let mut reader = rs.reader();
+        assert_eq!(reader.fetch(start).unwrap(), blks[0]);
+        // A no-retries policy surfaces the first transient instead.
+        let strict = RetryingStore::new(rs.inner, RetryPolicy::no_retries());
+        strict
+            .inner
+            .fetch_errs
+            .lock()
+            .unwrap()
+            .push_back(Some(StoreError::Transient { addr: start }));
+        let mut reader = strict.reader();
+        assert!(reader.fetch(start).unwrap_err().is_transient());
     }
 
     #[test]

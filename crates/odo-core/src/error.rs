@@ -131,7 +131,13 @@ impl From<BucketSortError> for OdoError {
 
 impl From<StoreError> for OdoError {
     fn from(e: StoreError) -> Self {
-        OdoError::Store(e)
+        match e {
+            // A store-level validation failure is the same class of error as
+            // a workspace-level one — surface it under the variant whose
+            // `Display` prints the reason verbatim.
+            StoreError::InvalidArgument { reason } => OdoError::InvalidArgument { reason },
+            other => OdoError::Store(other),
+        }
     }
 }
 
@@ -157,6 +163,11 @@ mod tests {
         assert!(e.to_string().contains("rollback"));
         let t: OdoError = StoreError::Transient { addr: 0 }.into();
         assert!(!t.is_tampering());
+        // Store-level validation failures convert to the workspace-level
+        // InvalidArgument variant, not to Store(..).
+        let v: OdoError = StoreError::InvalidArgument { reason: "nope" }.into();
+        assert_eq!(v, OdoError::InvalidArgument { reason: "nope" });
+        assert_eq!(v.to_string(), "nope");
     }
 
     #[test]

@@ -208,28 +208,36 @@ fn main() {
         retry.retries, retry.backoff_units
     );
 
-    // --- wall clock: the same sort against real files, timed ---
+    // --- wall clock: the same sort against real encrypted files, timed ---
     // Everything above ran against the in-memory simulator, which *counts*
     // I/Os. `FileStore` is the backend that actually pays for them: one
-    // preallocated file, one pread/pwrite per block, byte-identical traces.
-    // Wrapping it in `PrefetchingStore` turns the sort's shape-derived block
-    // hints into coalesced read-ahead — a latency optimization only; the
-    // logical access pattern the server observes is unchanged.
-    let mut file = FileStore::temp(b).expect("temp-backed block file");
-    let fh = file.alloc_array_from_elements(&items);
+    // preallocated file, one pread/pwrite per block. Stacking
+    // `EncryptedStore` on top re-encrypts every block write, and wrapping
+    // the pair in `PrefetchingStore` turns the sort's shape-derived block
+    // hints into coalesced, decrypt-ahead read spans on worker threads and
+    // batched (keystream-kernel) write-behind spans — a latency optimization
+    // only; the logical access pattern the server observes is unchanged.
+    let ecells: Vec<Cell> = items.iter().map(|e| Some(*e)).collect();
+    let mut efile =
+        EncryptedStore::with_backing(FileStore::temp(b).expect("temp-backed block file"), 0x50F8);
+    let fh = efile.alloc_array_from_cells(&ecells);
     let t = std::time::Instant::now();
     let freport = sort_with(
-        &mut file,
+        &mut efile,
         &fh,
         m,
         SortOrder::Ascending,
         &OblivSorter::bucket(0xB0C_C1A0),
     );
     let plain = t.elapsed();
-    assert_eq!(file.snapshot_elements(&fh), sorted, "file backend agrees");
+    let fsorted: Vec<Element> = efile.snapshot_cells(&fh).into_iter().flatten().collect();
+    assert_eq!(fsorted, sorted, "encrypted file backend agrees");
 
-    let mut pf = PrefetchingStore::new(FileStore::temp(b).expect("temp-backed block file"));
-    let ph = pf.inner_mut().alloc_array_from_elements(&items);
+    let mut pf = PrefetchingStore::new(EncryptedStore::with_backing(
+        FileStore::temp(b).expect("temp-backed block file"),
+        0x50F8,
+    ));
+    let ph = pf.inner_mut().alloc_array_from_cells(&ecells);
     let t = std::time::Instant::now();
     let preport = sort_with(
         &mut pf,
@@ -240,10 +248,16 @@ fn main() {
     );
     pf.flush_writes().expect("write-behind flush");
     let prefetched = t.elapsed();
-    assert_eq!(pf.inner().snapshot_elements(&ph), sorted, "prefetch agrees");
+    let psorted: Vec<Element> = pf
+        .inner()
+        .snapshot_cells(&ph)
+        .into_iter()
+        .flatten()
+        .collect();
+    assert_eq!(psorted, sorted, "decrypt-ahead agrees");
     assert_eq!(freport.io, preport.io, "read-ahead never changes the I/Os");
     println!(
-        "file-backed bucket sort: {} I/Os in {:.1} ms plain, {:.1} ms with prefetch ({:?})",
+        "encrypted file-backed bucket sort: {} I/Os in {:.1} ms plain, {:.1} ms with decrypt-ahead ({:?})",
         freport.io.total(),
         plain.as_secs_f64() * 1e3,
         prefetched.as_secs_f64() * 1e3,
